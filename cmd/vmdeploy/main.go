@@ -1,0 +1,122 @@
+// Command vmdeploy regenerates the paper's evaluation figures on the
+// simulated cluster and prints them as aligned text tables.
+//
+// Usage:
+//
+//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|all
+//
+// fig4 prints all four panels of Fig. 4 (multideployment), fig5 both
+// panels of Fig. 5 (multisnapshotting), fig6/fig7 the Bonnie++
+// comparison, fig8 the Monte Carlo application. -quick runs the
+// scaled-down parameter set (shapes preserved, absolute values not
+// comparable to the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"blobvfs/internal/experiments"
+	"blobvfs/internal/metrics"
+	"blobvfs/internal/workloads"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down parameters (fast; shapes only)")
+	seed := flag.Int64("seed", 0, "override the experiment seed")
+	sweepArg := flag.String("sweep", "", "comma-separated instance counts (default 1,10,30,50,70,90,110)")
+	instances := flag.Int("instances", 0, "instance count for fig8 (default 100, or 16 with -quick)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|ablations|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	target := flag.Arg(0)
+
+	p := experiments.Default()
+	fig8N := 100
+	if *quick {
+		p = experiments.Quick()
+		p.MaxInstances = 24
+		fig8N = 16
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *instances > 0 {
+		fig8N = *instances
+	}
+	sweep := experiments.DefaultSweep()
+	if *quick {
+		sweep = []int{1, 4, 8, 16, 24}
+	}
+	if *sweepArg != "" {
+		sweep = nil
+		for _, s := range strings.Split(*sweepArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "vmdeploy: bad sweep entry %q\n", s)
+				os.Exit(2)
+			}
+			sweep = append(sweep, n)
+		}
+	}
+
+	run := func(name string, fn func() []*metrics.Table) {
+		start := time.Now()
+		tables := fn()
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		fmt.Printf("(%s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fig4 := func() []*metrics.Table { return experiments.RunFig4(p, sweep).Tables() }
+	fig5 := func() []*metrics.Table { return experiments.RunFig5(p, sweep).Tables() }
+	fig67 := func() []*metrics.Table {
+		return experiments.RunFig67(workloads.DefaultBonnieConfig()).Tables()
+	}
+	fig8 := func() []*metrics.Table {
+		return []*metrics.Table{experiments.RunFig8(p, fig8N).Table()}
+	}
+	ablations := func() []*metrics.Table {
+		n := 16
+		if !*quick {
+			n = 50
+		}
+		cs := experiments.RunChunkSizeAblation(p, n, []int{64 << 10, 256 << 10, 1 << 20, 4 << 20})
+		rep := experiments.RunReplicationAblation(p, n, []int{1, 2, 3})
+		return []*metrics.Table{experiments.ChunkSizeTable(cs), experiments.ReplicationTable(rep)}
+	}
+
+	switch target {
+	case "fig4", "fig4a", "fig4b", "fig4c", "fig4d":
+		run("fig4", fig4)
+	case "fig5", "fig5a", "fig5b":
+		run("fig5", fig5)
+	case "fig6", "fig7", "fig67":
+		run("fig6/7", fig67)
+	case "fig8":
+		run("fig8", fig8)
+	case "ablations":
+		run("ablations", ablations)
+	case "all":
+		run("fig4", fig4)
+		run("fig5", fig5)
+		run("fig6/7", fig67)
+		run("fig8", fig8)
+		run("ablations", ablations)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

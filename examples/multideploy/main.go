@@ -1,0 +1,60 @@
+// Multideploy: the paper's headline experiment in miniature. It
+// simulates concurrently instantiating a cluster of VMs from one
+// image under the three strategies of §5.2 — taktuk prepropagation,
+// qcow2 over PVFS, and the lazy mirroring approach — and prints the
+// per-instance boot time, completion time, and network traffic for
+// each, as in Fig. 4.
+//
+// Run with: go run ./examples/multideploy [-n 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/experiments"
+	"blobvfs/internal/metrics"
+)
+
+func main() {
+	n := flag.Int("n", 24, "number of VM instances to deploy")
+	full := flag.Bool("full", false, "use the paper's full parameters (2 GB image; slower)")
+	flag.Parse()
+
+	p := experiments.Quick()
+	p.MaxInstances = *n
+	if *full {
+		p = experiments.Default()
+		if *n > p.MaxInstances {
+			p.MaxInstances = *n
+		}
+	}
+
+	table := &metrics.Table{
+		Title:   fmt.Sprintf("multideployment of %d instances (image %d MB)", *n, p.ImageSize>>20),
+		Columns: []string{"strategy", "avg boot (s)", "completion (s)", "traffic (GB)"},
+	}
+	for _, a := range []experiments.Approach{
+		experiments.TaktukPreprop, experiments.QcowOverPVFS, experiments.OurApproach,
+	} {
+		env := experiments.NewEnv(p, *n, a)
+		env.Run(func(ctx *cluster.Ctx) {
+			dep, err := env.Orch.Deploy(ctx)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "deploy failed:", err)
+				os.Exit(1)
+			}
+			boots := metrics.Summarize(dep.BootTimes())
+			table.AddRow(a.String(),
+				fmt.Sprintf("%.2f", boots.Mean),
+				fmt.Sprintf("%.2f", dep.Completion),
+				fmt.Sprintf("%.3f", float64(env.Fab.NetTraffic())/1e9))
+		})
+	}
+	table.Fprint(os.Stdout)
+	fmt.Println("\nNote how the lazy schemes skip the broadcast entirely and fetch")
+	fmt.Println("only the boot working set; the mirroring module's whole-chunk")
+	fmt.Println("prefetch is what separates it from qcow2's read-through.")
+}

@@ -1,0 +1,461 @@
+package blob
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"blobvfs/internal/cluster"
+)
+
+// System bundles the three BlobSeer services. One System is deployed
+// per cluster; any number of clients attach to it.
+type System struct {
+	Meta      *MetaService
+	VM        *VersionManager
+	Providers *ProviderSet
+}
+
+// NewSystem deploys the storage service over the given provider nodes
+// (used for both data and metadata, aggregating the compute nodes'
+// local disks per §3.1.1) with the version manager on vmNode.
+func NewSystem(providers []cluster.NodeID, vmNode cluster.NodeID, replicas int) *System {
+	return &System{
+		Meta:      NewMetaService(providers),
+		VM:        NewVersionManager(vmNode),
+		Providers: NewProviderSet(providers, replicas),
+	}
+}
+
+// clientParallel bounds a client's concurrent chunk transfers, modeling
+// its connection pool. Parallel work is assigned round-robin so runs
+// are deterministic.
+const clientParallel = 16
+
+// Client is a BlobSeer access library instance. Tree nodes and blob
+// geometry are immutable, so the client caches them without any
+// invalidation protocol; this is what makes metadata overhead drop
+// sharply after first access, as in the real system.
+type Client struct {
+	sys *System
+
+	mu    sync.Mutex
+	nodes map[NodeRef]TreeNode
+	infos map[ID]Info
+}
+
+// NewClient attaches a client to a system.
+func NewClient(sys *System) *Client {
+	return &Client{
+		sys:   sys,
+		nodes: make(map[NodeRef]TreeNode),
+		infos: make(map[ID]Info),
+	}
+}
+
+// System returns the system this client is attached to.
+func (c *Client) System() *System { return c.sys }
+
+// Info returns blob geometry, cached after the first fetch.
+func (c *Client) Info(ctx *cluster.Ctx, id ID) (Info, error) {
+	c.mu.Lock()
+	inf, ok := c.infos[id]
+	c.mu.Unlock()
+	if ok {
+		return inf, nil
+	}
+	inf, err := c.sys.VM.Info(ctx, id)
+	if err != nil {
+		return Info{}, err
+	}
+	c.mu.Lock()
+	c.infos[id] = inf
+	c.mu.Unlock()
+	return inf, nil
+}
+
+// getNode fetches a metadata node through the cache.
+func (c *Client) getNode(ctx *cluster.Ctx, ref NodeRef) (TreeNode, error) {
+	c.mu.Lock()
+	n, ok := c.nodes[ref]
+	c.mu.Unlock()
+	if ok {
+		return n, nil
+	}
+	n, err := c.sys.Meta.Get(ctx, ref)
+	if err != nil {
+		return TreeNode{}, err
+	}
+	c.mu.Lock()
+	c.nodes[ref] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// cacheNew primes the cache with nodes this client just created.
+func (c *Client) cacheNew(nodes []NewNode) {
+	c.mu.Lock()
+	for _, nn := range nodes {
+		c.nodes[nn.Ref] = nn.Node
+	}
+	c.mu.Unlock()
+}
+
+type boundGetter struct {
+	c   *Client
+	ctx *cluster.Ctx
+}
+
+func (g boundGetter) GetNode(ref NodeRef) (TreeNode, error) { return g.c.getNode(g.ctx, ref) }
+
+// Create registers a new blob of the given size and chunk size. The
+// blob has no published versions until the first WriteChunks.
+func (c *Client) Create(ctx *cluster.Ctx, size int64, chunkSize int) (ID, error) {
+	return c.sys.VM.CreateBlob(ctx, size, chunkSize)
+}
+
+// Latest returns the newest published version of the blob (0 if none).
+func (c *Client) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
+	return c.sys.VM.Latest(ctx, id)
+}
+
+// ChunkWrite names a chunk index and its new payload for WriteChunks.
+type ChunkWrite struct {
+	Index   int64
+	Payload Payload
+}
+
+// WriteChunks is the COMMIT data path: it stores the given chunk
+// payloads on the providers (bounded-parallel), builds the shadowed
+// segment tree against base, and publishes the result as the blob's
+// next version in total order. base is the version whose unmodified
+// content the snapshot shares; base 0 builds over an empty tree.
+func (c *Client) WriteChunks(ctx *cluster.Ctx, id ID, base Version, writes []ChunkWrite) (Version, error) {
+	if len(writes) == 0 {
+		return 0, fmt.Errorf("blob: WriteChunks with no chunks")
+	}
+	inf, err := c.Info(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	sorted := make([]ChunkWrite, len(writes))
+	copy(sorted, writes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	nchunks := inf.Chunks()
+	for i, w := range sorted {
+		if w.Index < 0 || w.Index >= nchunks {
+			return 0, fmt.Errorf("blob: chunk index %d outside blob of %d chunks", w.Index, nchunks)
+		}
+		if i > 0 && sorted[i-1].Index == w.Index {
+			return 0, fmt.Errorf("blob: duplicate chunk index %d in write set", w.Index)
+		}
+		if int(w.Payload.Size) > inf.ChunkSize {
+			return 0, fmt.Errorf("blob: payload of %d bytes exceeds chunk size %d", w.Payload.Size, inf.ChunkSize)
+		}
+	}
+
+	// Phase 1: push chunk payloads to the providers.
+	dirty := make([]DirtyLeaf, len(sorted))
+	keys := make([]ChunkKey, len(sorted))
+	for i := range sorted {
+		keys[i] = c.sys.Providers.AllocKey()
+		dirty[i] = DirtyLeaf{Index: sorted[i].Index, Chunk: keys[i]}
+	}
+	putErrs := make([]error, len(sorted))
+	c.forEachParallel(ctx, "put-chunk", len(sorted), func(cc *cluster.Ctx, i int) {
+		putErrs[i] = c.sys.Providers.Put(cc, keys[i], sorted[i].Payload)
+	})
+	if err := firstError(putErrs); err != nil {
+		return 0, err
+	}
+
+	// Phase 2: ticket, shadowed metadata, publication.
+	ticket, err := c.sys.VM.Ticket(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	var oldRoot NodeRef
+	if base > 0 {
+		oldRoot, err = c.sys.VM.Root(ctx, id, base)
+		if err != nil {
+			return 0, err
+		}
+	}
+	root, created, err := BuildVersion(boundGetter{c, ctx}, oldRoot, inf.Span, dirty, c.sys.Meta.AllocRef)
+	if err != nil {
+		return 0, err
+	}
+	c.sys.Meta.PutBatch(ctx, created)
+	c.cacheNew(created)
+	if err := c.sys.VM.Publish(ctx, id, ticket, root); err != nil {
+		return 0, err
+	}
+	return ticket, nil
+}
+
+// Clone duplicates snapshot (id, v) as a new blob that shares all
+// content and metadata with the source — the CLONE primitive of §3.2,
+// implemented as the single extra root node of Fig. 3(b).
+func (c *Client) Clone(ctx *cluster.Ctx, id ID, v Version) (ID, error) {
+	inf, err := c.Info(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	srcRoot, err := c.sys.VM.Root(ctx, id, v)
+	if err != nil {
+		return 0, err
+	}
+	clone, err := c.sys.VM.CreateBlob(ctx, inf.Size, inf.ChunkSize)
+	if err != nil {
+		return 0, err
+	}
+	root, created, err := CloneRoot(boundGetter{c, ctx}, srcRoot, inf.Span, c.sys.Meta.AllocRef)
+	if err != nil {
+		return 0, err
+	}
+	c.sys.Meta.PutBatch(ctx, created)
+	c.cacheNew(created)
+	ticket, err := c.sys.VM.Ticket(ctx, clone)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.sys.VM.Publish(ctx, clone, ticket, root); err != nil {
+		return 0, err
+	}
+	return clone, nil
+}
+
+// FetchedChunk is one chunk of a read range. Key 0 marks a sparse
+// (all-zero) chunk, whose payload has the right size and no data.
+type FetchedChunk struct {
+	Index   int64
+	Key     ChunkKey
+	Payload Payload
+}
+
+// FetchChunks retrieves the chunks covering indices [lo,hi) of (id,v),
+// fetching distinct chunks in parallel from their providers. This is
+// the primitive the mirroring module's remote reads are built on.
+func (c *Client) FetchChunks(ctx *cluster.Ctx, id ID, v Version, lo, hi int64) ([]FetchedChunk, error) {
+	inf, err := c.Info(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	nchunks := inf.Chunks()
+	if lo < 0 || hi > nchunks || lo > hi {
+		return nil, fmt.Errorf("blob: chunk range [%d,%d) outside blob of %d chunks", lo, hi, nchunks)
+	}
+	root, err := c.sys.VM.Root(ctx, id, v)
+	if err != nil {
+		return nil, err
+	}
+	leaves, err := CollectLeaves(boundGetter{c, ctx}, root, inf.Span, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FetchedChunk, len(leaves))
+	// Fetch each distinct key once; duplicate keys (shared chunks at
+	// multiple indices) reuse the first fetch.
+	firstAt := make(map[ChunkKey]int)
+	var fetchIdx []int
+	for i, lf := range leaves {
+		out[i] = FetchedChunk{Index: lf.Index, Key: lf.Chunk}
+		if lf.Chunk == 0 {
+			out[i].Payload = Payload{Size: int32(c.chunkLen(inf, lf.Index))}
+			continue
+		}
+		if _, seen := firstAt[lf.Chunk]; !seen {
+			firstAt[lf.Chunk] = i
+			fetchIdx = append(fetchIdx, i)
+		}
+	}
+	fetchErrs := make([]error, len(fetchIdx))
+	c.forEachParallel(ctx, "get-chunk", len(fetchIdx), func(cc *cluster.Ctx, j int) {
+		i := fetchIdx[j]
+		p, err := c.sys.Providers.Get(cc, out[i].Key)
+		fetchErrs[j] = err
+		out[i].Payload = p
+	})
+	if err := firstError(fetchErrs); err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if out[i].Key != 0 {
+			out[i].Payload = out[firstAt[out[i].Key]].Payload
+		}
+	}
+	return out, nil
+}
+
+// ReadAt reads len(buf) bytes at offset off from snapshot (id, v) into
+// buf. Sparse regions read as zeros. With synthetic payloads the time
+// and traffic costs are charged but buf receives zeros.
+func (c *Client) ReadAt(ctx *cluster.Ctx, id ID, v Version, buf []byte, off int64) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	inf, err := c.Info(ctx, id)
+	if err != nil {
+		return err
+	}
+	end := off + int64(len(buf))
+	if off < 0 || end > inf.Size {
+		return fmt.Errorf("blob: read [%d,%d) outside blob size %d", off, end, inf.Size)
+	}
+	cs := int64(inf.ChunkSize)
+	chunks, err := c.FetchChunks(ctx, id, v, off/cs, (end+cs-1)/cs)
+	if err != nil {
+		return err
+	}
+	for _, fc := range chunks {
+		cstart := fc.Index * cs
+		from := max64(off, cstart)
+		to := min64(end, cstart+cs)
+		dst := buf[from-off : to-off]
+		if fc.Payload.Real() {
+			src := fc.Payload.Data
+			inChunk := from - cstart
+			for i := range dst {
+				j := inChunk + int64(i)
+				if j < int64(len(src)) {
+					dst[i] = src[j]
+				} else {
+					dst[i] = 0
+				}
+			}
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// WriteAt writes buf at offset off on top of version base, producing a
+// new version. Partially covered chunks are read-modify-written so the
+// new chunk payloads are complete. This is the path used to upload
+// initial images; the mirroring module uses WriteChunks directly.
+func (c *Client) WriteAt(ctx *cluster.Ctx, id ID, base Version, buf []byte, off int64) (Version, error) {
+	if len(buf) == 0 {
+		return 0, fmt.Errorf("blob: empty write")
+	}
+	inf, err := c.Info(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	end := off + int64(len(buf))
+	if off < 0 || end > inf.Size {
+		return 0, fmt.Errorf("blob: write [%d,%d) outside blob size %d", off, end, inf.Size)
+	}
+	cs := int64(inf.ChunkSize)
+	loC, hiC := off/cs, (end+cs-1)/cs
+
+	// Read-modify-write boundary chunks that exist in the base version.
+	var oldFirst, oldLast []FetchedChunk
+	if base > 0 {
+		if off%cs != 0 || (loC == hiC-1 && end%cs != 0) {
+			oldFirst, err = c.FetchChunks(ctx, id, base, loC, loC+1)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if end%cs != 0 && hiC-1 > loC {
+			oldLast, err = c.FetchChunks(ctx, id, base, hiC-1, hiC)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	oldData := func(idx int64) []byte {
+		for _, fc := range append(oldFirst, oldLast...) {
+			if fc.Index == idx && fc.Payload.Real() {
+				return fc.Payload.Data
+			}
+		}
+		return nil
+	}
+
+	writes := make([]ChunkWrite, 0, hiC-loC)
+	for ci := loC; ci < hiC; ci++ {
+		clen := c.chunkLen(inf, ci)
+		data := make([]byte, clen)
+		if old := oldData(ci); old != nil {
+			copy(data, old)
+		}
+		cstart := ci * cs
+		from := max64(off, cstart)
+		to := min64(end, cstart+int64(clen))
+		copy(data[from-cstart:to-cstart], buf[from-off:to-off])
+		writes = append(writes, ChunkWrite{Index: ci, Payload: RealPayload(data)})
+	}
+	return c.WriteChunks(ctx, id, base, writes)
+}
+
+// WriteFull publishes a complete synthetic image of the blob's size as
+// its next version: every chunk gets a synthetic payload tagged with
+// tag. This stands in for uploading a real 2 GB image in experiments.
+func (c *Client) WriteFull(ctx *cluster.Ctx, id ID, base Version, tag uint64) (Version, error) {
+	inf, err := c.Info(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	writes := make([]ChunkWrite, inf.Chunks())
+	for i := range writes {
+		writes[i] = ChunkWrite{
+			Index:   int64(i),
+			Payload: SyntheticPayload(int32(c.chunkLen(inf, int64(i))), tag),
+		}
+	}
+	return c.WriteChunks(ctx, id, base, writes)
+}
+
+// chunkLen returns the length of chunk ci (the last chunk may be short).
+func (c *Client) chunkLen(inf Info, ci int64) int {
+	cs := int64(inf.ChunkSize)
+	if (ci+1)*cs <= inf.Size {
+		return inf.ChunkSize
+	}
+	l := inf.Size - ci*cs
+	if l < 0 {
+		l = 0
+	}
+	return int(l)
+}
+
+// firstError returns the first non-nil error in errs.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachParallel runs fn(i) for i in [0,n) with at most clientParallel
+// concurrent activities on the caller's node. Work is striped across
+// workers (worker w handles w, w+P, ...), which is deterministic.
+func (c *Client) forEachParallel(ctx *cluster.Ctx, name string, n int, fn func(cc *cluster.Ctx, i int)) {
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		fn(ctx, 0)
+		return
+	}
+	workers := clientParallel
+	if n < workers {
+		workers = n
+	}
+	tasks := make([]cluster.Task, 0, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		tasks = append(tasks, ctx.Go(name, ctx.Node(), func(cc *cluster.Ctx) {
+			for i := w; i < n; i += workers {
+				fn(cc, i)
+			}
+		}))
+	}
+	ctx.WaitAll(tasks)
+}

@@ -1,0 +1,99 @@
+package blob
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"blobvfs/internal/cluster"
+)
+
+// MetaService is the distributed metadata store: immutable segment-tree
+// nodes spread over a set of metadata provider nodes by reference hash,
+// as in BlobSeer's metadata DHT. Because nodes are immutable, clients
+// cache them freely (see Client); the service itself never invalidates.
+type MetaService struct {
+	providers []cluster.NodeID
+	nextRef   atomic.Uint64
+
+	mu    sync.Mutex
+	nodes map[NodeRef]TreeNode
+
+	// Puts and Gets count service operations (after batching).
+	Puts, Gets atomic.Int64
+}
+
+// NewMetaService creates a metadata store over the given provider nodes.
+func NewMetaService(providers []cluster.NodeID) *MetaService {
+	if len(providers) == 0 {
+		panic("blob: metadata service needs at least one provider")
+	}
+	return &MetaService{
+		providers: providers,
+		nodes:     make(map[NodeRef]TreeNode),
+	}
+}
+
+// AllocRef returns a fresh globally unique node reference. Refs are
+// client-generated in BlobSeer as well, so no RPC is charged.
+func (m *MetaService) AllocRef() NodeRef {
+	return NodeRef(m.nextRef.Add(1))
+}
+
+// Home returns the metadata provider responsible for a reference.
+func (m *MetaService) Home(ref NodeRef) cluster.NodeID {
+	return m.providers[uint64(ref)%uint64(len(m.providers))]
+}
+
+// Get fetches one tree node, charging a small RPC to its home provider.
+func (m *MetaService) Get(ctx *cluster.Ctx, ref NodeRef) (TreeNode, error) {
+	ctx.RPC(m.Home(ref), 16, treeNodeWire)
+	m.Gets.Add(1)
+	m.mu.Lock()
+	n, ok := m.nodes[ref]
+	m.mu.Unlock()
+	if !ok {
+		return TreeNode{}, notFound("metadata node", ref)
+	}
+	return n, nil
+}
+
+// PutBatch stores freshly built nodes, batching the RPCs per provider
+// (one request per distinct home node). This is what a BlobSeer client
+// library does when it writes the new subtree of a version.
+func (m *MetaService) PutBatch(ctx *cluster.Ctx, nodes []NewNode) {
+	if len(nodes) == 0 {
+		return
+	}
+	counts := make(map[cluster.NodeID]int64)
+	for _, nn := range nodes {
+		counts[m.Home(nn.Ref)]++
+	}
+	// Charge per-provider batches in deterministic (provider ring) order.
+	for _, prov := range m.providers {
+		if c := counts[prov]; c > 0 {
+			ctx.RPC(prov, c*treeNodeWire, 16)
+			m.Puts.Add(1)
+		}
+	}
+	m.mu.Lock()
+	for _, nn := range nodes {
+		m.nodes[nn.Ref] = nn.Node
+	}
+	m.mu.Unlock()
+}
+
+// NodeCount returns the number of stored tree nodes (metadata footprint).
+func (m *MetaService) NodeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.nodes)
+}
+
+// peek returns a node without charging any cost; used by in-process
+// verification and tests.
+func (m *MetaService) peek(ref NodeRef) (TreeNode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[ref]
+	return n, ok
+}

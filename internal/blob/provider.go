@@ -1,0 +1,224 @@
+package blob
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blobvfs/internal/cluster"
+)
+
+// ProviderSet is the data plane: chunk payloads stored on the local
+// disks of provider nodes, placed round-robin by key with an optional
+// replication degree (paper §3.1.3). Providers can be killed to test
+// fault tolerance; reads fail over to surviving replicas.
+//
+// With deduplication enabled (§7 of the paper lists it as future
+// work), payloads carrying a content fingerprint are stored once:
+// a Put whose content is already present stores a reference instead
+// of a second copy, skipping the disk write (the transfer is still
+// paid — the client cannot know the content is duplicate). Real
+// payloads are fingerprinted by hashing; synthetic payloads use their
+// Tag as the fingerprint.
+type ProviderSet struct {
+	nodes    []cluster.NodeID
+	replicas int
+	dedup    bool
+	nextKey  atomic.Uint64
+
+	mu      sync.Mutex
+	chunks  map[ChunkKey]Payload
+	byPrint map[uint64]ChunkKey // content fingerprint → canonical key
+	refs    map[ChunkKey]int64  // reference counts under dedup
+	aliases map[ChunkKey]ChunkKey
+	alive   map[cluster.NodeID]bool
+
+	// Reads and Writes count chunk-level operations; DedupHits counts
+	// Puts absorbed by an existing identical chunk.
+	Reads, Writes, DedupHits atomic.Int64
+}
+
+// NewProviderSet creates a chunk store over the given nodes with the
+// given replication degree (≥1).
+func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
+	if len(nodes) == 0 {
+		panic("blob: provider set needs at least one node")
+	}
+	if replicas < 1 || replicas > len(nodes) {
+		panic(fmt.Sprintf("blob: replication degree %d invalid for %d providers", replicas, len(nodes)))
+	}
+	alive := make(map[cluster.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		alive[n] = true
+	}
+	return &ProviderSet{
+		nodes:    nodes,
+		replicas: replicas,
+		chunks:   make(map[ChunkKey]Payload),
+		byPrint:  make(map[uint64]ChunkKey),
+		refs:     make(map[ChunkKey]int64),
+		aliases:  make(map[ChunkKey]ChunkKey),
+		alive:    alive,
+	}
+}
+
+// EnableDedup turns on content deduplication for subsequent Puts.
+func (ps *ProviderSet) EnableDedup() { ps.dedup = true }
+
+// fingerprint derives a content identity for a payload: an FNV-1a
+// hash of real bytes, or the (size, tag) pair for synthetic payloads.
+// Tag 0 synthetic payloads are never deduplicated (no identity).
+func fingerprint(p Payload) (uint64, bool) {
+	if p.Real() {
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		h := uint64(offset64)
+		for _, b := range p.Data {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		return h, true
+	}
+	if p.Tag == 0 {
+		return 0, false
+	}
+	return p.Tag<<16 ^ uint64(p.Size), true
+}
+
+// AllocKey returns a fresh chunk key. Sequential keys give round-robin
+// placement, matching the even striping of §3.1.3.
+func (ps *ProviderSet) AllocKey() ChunkKey {
+	return ChunkKey(ps.nextKey.Add(1))
+}
+
+// Replicas returns the provider nodes responsible for a key, primary
+// first.
+func (ps *ProviderSet) Replicas(key ChunkKey) []cluster.NodeID {
+	n := len(ps.nodes)
+	first := int(uint64(key) % uint64(n))
+	out := make([]cluster.NodeID, 0, ps.replicas)
+	for i := 0; i < ps.replicas; i++ {
+		out = append(out, ps.nodes[(first+i)%n])
+	}
+	return out
+}
+
+// Kill marks a provider as failed: it stops serving reads and accepting
+// writes. Data already replicated elsewhere stays readable.
+func (ps *ProviderSet) Kill(node cluster.NodeID) {
+	ps.mu.Lock()
+	ps.alive[node] = false
+	ps.mu.Unlock()
+}
+
+// Revive brings a failed provider back (it serves its old chunks again).
+func (ps *ProviderSet) Revive(node cluster.NodeID) {
+	ps.mu.Lock()
+	ps.alive[node] = true
+	ps.mu.Unlock()
+}
+
+func (ps *ProviderSet) isAlive(node cluster.NodeID) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.alive[node]
+}
+
+// Put stores a payload under key on all replicas, charging the chunk
+// transfer to each living replica and an asynchronous local-disk write
+// there (BlobSeer acknowledges once the data is in the provider's
+// write-back buffer; see paper §5.3). Returns an error if no replica
+// is alive. Under deduplication, a payload whose content fingerprint
+// is already stored becomes an alias of the existing chunk: the
+// transfer is still charged (the client pushed the bytes) but the
+// disk write and the second copy are skipped.
+func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
+	dup := false
+	var canonical ChunkKey
+	if ps.dedup {
+		if fp, ok := fingerprint(p); ok {
+			ps.mu.Lock()
+			if existing, hit := ps.byPrint[fp]; hit {
+				dup = true
+				canonical = existing
+			} else {
+				ps.byPrint[fp] = key
+			}
+			ps.mu.Unlock()
+		}
+	}
+	stored := 0
+	for _, prov := range ps.Replicas(key) {
+		if !ps.isAlive(prov) {
+			continue
+		}
+		ctx.RPC(prov, int64(p.Size)+32, 16)
+		if !dup {
+			ctx.DiskWriteAsync(prov, int64(p.Size))
+		}
+		stored++
+	}
+	if stored == 0 {
+		return fmt.Errorf("blob: no live replica for chunk %d", key)
+	}
+	ps.mu.Lock()
+	if dup {
+		ps.aliases[key] = canonical
+		ps.refs[canonical]++
+		ps.DedupHits.Add(1)
+	} else {
+		ps.chunks[key] = p
+		ps.refs[key]++
+	}
+	ps.mu.Unlock()
+	ps.Writes.Add(1)
+	return nil
+}
+
+// Get fetches the payload for key, charging the provider's disk read
+// and the transfer back. Replica choice is primary-first with
+// failover. Aliased (deduplicated) keys resolve to their canonical
+// chunk, whose home provider serves the read.
+func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
+	ps.mu.Lock()
+	if canon, ok := ps.aliases[key]; ok {
+		key = canon
+	}
+	p, ok := ps.chunks[key]
+	ps.mu.Unlock()
+	if !ok {
+		return Payload{}, notFound("chunk", key)
+	}
+	var prov cluster.NodeID = -1
+	for _, r := range ps.Replicas(key) {
+		if ps.isAlive(r) {
+			prov = r
+			break
+		}
+	}
+	if prov < 0 {
+		return Payload{}, fmt.Errorf("blob: no live replica for chunk %d", key)
+	}
+	ctx.DiskRead(prov, int64(p.Size))
+	ctx.RPC(prov, 32, int64(p.Size))
+	ps.Reads.Add(1)
+	return p, nil
+}
+
+// ChunkCount returns the number of distinct chunks stored.
+func (ps *ProviderSet) ChunkCount() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.chunks)
+}
+
+// StoredBytes returns the total payload bytes stored (one copy counted
+// per chunk; multiply by the replication degree for raw usage).
+func (ps *ProviderSet) StoredBytes() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	var total int64
+	for _, p := range ps.chunks {
+		total += int64(p.Size)
+	}
+	return total
+}

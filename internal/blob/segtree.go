@@ -1,0 +1,187 @@
+package blob
+
+import "fmt"
+
+// This file holds the pure segment-tree algorithms: collecting the
+// leaves that cover a chunk range, and building the O(D·log C) new
+// nodes of a shadowed version. They are pure so that property-based
+// tests can drive them against a flat reference model without any
+// fabric; the client wires them to the distributed metadata store.
+
+// Getter resolves metadata node references. Implementations may fetch
+// remotely (client) or from a local map (tests).
+type Getter interface {
+	GetNode(ref NodeRef) (TreeNode, error)
+}
+
+// GetterFunc adapts a function to the Getter interface.
+type GetterFunc func(ref NodeRef) (TreeNode, error)
+
+// GetNode calls f.
+func (f GetterFunc) GetNode(ref NodeRef) (TreeNode, error) { return f(ref) }
+
+// LeafRange is a run of consecutive chunk indices sharing sparseness
+// status; for non-sparse runs the chunk keys are listed individually.
+type LeafEntry struct {
+	Index int64
+	Chunk ChunkKey // 0 = sparse
+}
+
+// CollectLeaves walks the tree under root and returns one entry per
+// chunk index in [lo,hi), in index order. Sparse subtrees (ref 0)
+// produce entries with Chunk 0. The root covering span [0,span) may
+// itself be 0 for a completely empty tree.
+func CollectLeaves(g Getter, root NodeRef, span, lo, hi int64) ([]LeafEntry, error) {
+	if lo < 0 || hi > span || lo > hi {
+		return nil, fmt.Errorf("blob: leaf range [%d,%d) outside span %d", lo, hi, span)
+	}
+	out := make([]LeafEntry, 0, hi-lo)
+	var walk func(ref NodeRef, nlo, nhi int64) error
+	walk = func(ref NodeRef, nlo, nhi int64) error {
+		if nhi <= lo || nlo >= hi {
+			return nil
+		}
+		if ref == 0 {
+			from, to := max64(nlo, lo), min64(nhi, hi)
+			for i := from; i < to; i++ {
+				out = append(out, LeafEntry{Index: i})
+			}
+			return nil
+		}
+		n, err := g.GetNode(ref)
+		if err != nil {
+			return err
+		}
+		if n.Lo != nlo || n.Hi != nhi {
+			return fmt.Errorf("blob: tree corruption: node %d covers [%d,%d), expected [%d,%d)", ref, n.Lo, n.Hi, nlo, nhi)
+		}
+		if n.Leaf() {
+			out = append(out, LeafEntry{Index: n.Lo, Chunk: n.Chunk})
+			return nil
+		}
+		mid := (nlo + nhi) / 2
+		if err := walk(n.Left, nlo, mid); err != nil {
+			return err
+		}
+		return walk(n.Right, mid, nhi)
+	}
+	if err := walk(root, 0, span); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DirtyLeaf names a chunk index to be replaced in a new version.
+type DirtyLeaf struct {
+	Index int64
+	Chunk ChunkKey
+}
+
+// NewNode is a freshly built tree node awaiting storage.
+type NewNode struct {
+	Ref  NodeRef
+	Node TreeNode
+}
+
+// BuildVersion constructs the metadata of a shadowed snapshot: a new
+// tree that references the chunks in `dirty` at their indices and
+// shares every other subtree with the tree under oldRoot. Only the
+// nodes on root-to-leaf paths that contain a dirty index are created;
+// this is the mechanism of Fig. 3(c) in the paper.
+//
+// alloc must return fresh unique refs. The returned slice lists every
+// created node (the last entry is the new root). dirty must be sorted
+// by index, without duplicates, all within [0,span).
+func BuildVersion(g Getter, oldRoot NodeRef, span int64, dirty []DirtyLeaf, alloc func() NodeRef) (NodeRef, []NewNode, error) {
+	if len(dirty) == 0 {
+		return oldRoot, nil, nil
+	}
+	for i, d := range dirty {
+		if d.Index < 0 || d.Index >= span {
+			return nil2(), nil, fmt.Errorf("blob: dirty index %d outside span %d", d.Index, span)
+		}
+		if i > 0 && dirty[i-1].Index >= d.Index {
+			return nil2(), nil, fmt.Errorf("blob: dirty indices not sorted/unique at %d", i)
+		}
+	}
+	var created []NewNode
+	// rebuild returns the ref of the subtree for [nlo,nhi) in the new
+	// version, given the dirty leaves di[lo:hi) falling in that range.
+	var rebuild func(oldRef NodeRef, nlo, nhi int64, d []DirtyLeaf) (NodeRef, error)
+	rebuild = func(oldRef NodeRef, nlo, nhi int64, d []DirtyLeaf) (NodeRef, error) {
+		if len(d) == 0 {
+			return oldRef, nil // share the old subtree unchanged
+		}
+		ref := alloc()
+		if nhi-nlo == 1 {
+			created = append(created, NewNode{Ref: ref, Node: TreeNode{Lo: nlo, Hi: nhi, Chunk: d[0].Chunk}})
+			return ref, nil
+		}
+		mid := (nlo + nhi) / 2
+		var oldLeft, oldRight NodeRef
+		if oldRef != 0 {
+			old, err := g.GetNode(oldRef)
+			if err != nil {
+				return 0, err
+			}
+			if old.Leaf() {
+				return 0, fmt.Errorf("blob: tree corruption: leaf %d at inner range [%d,%d)", oldRef, nlo, nhi)
+			}
+			oldLeft, oldRight = old.Left, old.Right
+		}
+		split := 0
+		for split < len(d) && d[split].Index < mid {
+			split++
+		}
+		left, err := rebuild(oldLeft, nlo, mid, d[:split])
+		if err != nil {
+			return 0, err
+		}
+		right, err := rebuild(oldRight, mid, nhi, d[split:])
+		if err != nil {
+			return 0, err
+		}
+		created = append(created, NewNode{Ref: ref, Node: TreeNode{Lo: nlo, Hi: nhi, Left: left, Right: right}})
+		return ref, nil
+	}
+	root, err := rebuild(oldRoot, 0, span, dirty)
+	if err != nil {
+		return 0, nil, err
+	}
+	return root, created, nil
+}
+
+// CloneRoot builds the single new node that makes blob B version 1 an
+// alias of blob A's snapshot under srcRoot — Fig. 3(b) of the paper.
+// For a leaf-rooted (single chunk) tree the clone shares the chunk key.
+func CloneRoot(g Getter, srcRoot NodeRef, span int64, alloc func() NodeRef) (NodeRef, []NewNode, error) {
+	if srcRoot == 0 {
+		return 0, nil, nil // cloning an empty tree is an empty tree
+	}
+	src, err := g.GetNode(srcRoot)
+	if err != nil {
+		return 0, nil, err
+	}
+	if src.Lo != 0 || src.Hi != span {
+		return 0, nil, fmt.Errorf("blob: clone source root covers [%d,%d), want [0,%d)", src.Lo, src.Hi, span)
+	}
+	ref := alloc()
+	n := TreeNode{Lo: 0, Hi: span, Left: src.Left, Right: src.Right, Chunk: src.Chunk}
+	return ref, []NewNode{{Ref: ref, Node: n}}, nil
+}
+
+func nil2() NodeRef { return 0 }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

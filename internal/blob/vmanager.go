@@ -1,0 +1,179 @@
+package blob
+
+import (
+	"fmt"
+	"sync"
+
+	"blobvfs/internal/cluster"
+)
+
+// VersionManager is BlobSeer's serialization point: it registers blobs,
+// hands out version tickets, and publishes snapshot roots in strict
+// total order per blob. A snapshot becomes visible only when every
+// earlier ticket of the same blob has been published, which is what
+// lets writers push chunks and metadata concurrently and out of order
+// (the decoupled publication that makes COMMIT cheap, paper §4.2).
+//
+// The manager runs on a single designated node; every operation is a
+// small RPC.
+type VersionManager struct {
+	node cluster.NodeID
+
+	mu    sync.Mutex
+	blobs map[ID]*blobState
+	next  ID
+}
+
+type blobState struct {
+	info      Info
+	published []NodeRef           // published roots; index = version-1
+	tickets   Version             // highest ticket handed out
+	pending   map[Version]NodeRef // out-of-order completed commits
+	gates     map[Version]*cluster.Gate
+}
+
+// NewVersionManager creates a version manager hosted on the given node.
+func NewVersionManager(node cluster.NodeID) *VersionManager {
+	return &VersionManager{node: node, blobs: make(map[ID]*blobState)}
+}
+
+// Node returns the node hosting the manager.
+func (vm *VersionManager) Node() cluster.NodeID { return vm.node }
+
+// CreateBlob registers a new empty blob with the given geometry and
+// returns its ID. The blob has no published versions yet.
+func (vm *VersionManager) CreateBlob(ctx *cluster.Ctx, size int64, chunkSize int) (ID, error) {
+	if size < 0 || chunkSize <= 0 {
+		return 0, fmt.Errorf("blob: invalid geometry size=%d chunkSize=%d", size, chunkSize)
+	}
+	ctx.RPC(vm.node, 32, 16)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.next++
+	id := vm.next
+	chunks := (size + int64(chunkSize) - 1) / int64(chunkSize)
+	vm.blobs[id] = &blobState{
+		info:    Info{ID: id, Size: size, ChunkSize: chunkSize, Span: span2(chunks)},
+		pending: make(map[Version]NodeRef),
+		gates:   make(map[Version]*cluster.Gate),
+	}
+	return id, nil
+}
+
+// Info returns a blob's geometry. The result is immutable, so clients
+// cache it; the first fetch charges an RPC.
+func (vm *VersionManager) Info(ctx *cluster.Ctx, id ID) (Info, error) {
+	ctx.RPC(vm.node, 16, 48)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return Info{}, notFound("blob", id)
+	}
+	return st.info, nil
+}
+
+// Latest returns the newest published version (0 if none).
+func (vm *VersionManager) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
+	ctx.RPC(vm.node, 16, 16)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return 0, notFound("blob", id)
+	}
+	return Version(len(st.published)), nil
+}
+
+// Root returns the published root of (id, v).
+func (vm *VersionManager) Root(ctx *cluster.Ctx, id ID, v Version) (NodeRef, error) {
+	ctx.RPC(vm.node, 24, 16)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return 0, notFound("blob", id)
+	}
+	if v < 1 || int(v) > len(st.published) {
+		return 0, notFound("version", fmt.Sprintf("%d@%d", id, v))
+	}
+	return st.published[v-1], nil
+}
+
+// Ticket reserves the next version number of the blob. The caller must
+// eventually Publish it or the blob's version sequence stalls.
+func (vm *VersionManager) Ticket(ctx *cluster.Ctx, id ID) (Version, error) {
+	ctx.RPC(vm.node, 16, 16)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return 0, notFound("blob", id)
+	}
+	st.tickets++
+	return st.tickets, nil
+}
+
+// Publish reports that the snapshot for ticket v of blob id is complete
+// (chunks and metadata durable) with the given root, and blocks until
+// the version becomes visible, i.e. all earlier tickets are published.
+func (vm *VersionManager) Publish(ctx *cluster.Ctx, id ID, v Version, root NodeRef) error {
+	ctx.RPC(vm.node, 40, 16)
+	vm.mu.Lock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		vm.mu.Unlock()
+		return notFound("blob", id)
+	}
+	if v < 1 || v > st.tickets {
+		vm.mu.Unlock()
+		return fmt.Errorf("blob: publish of unticketed version %d@%d", id, v)
+	}
+	if int(v) <= len(st.published) {
+		vm.mu.Unlock()
+		return fmt.Errorf("blob: version %d@%d already published", id, v)
+	}
+	st.pending[v] = root
+	// Fold any now-contiguous pending versions into the published list.
+	var released []*cluster.Gate
+	for {
+		nextV := Version(len(st.published) + 1)
+		r, ok := st.pending[nextV]
+		if !ok {
+			break
+		}
+		delete(st.pending, nextV)
+		st.published = append(st.published, r)
+		if g, ok := st.gates[nextV]; ok {
+			released = append(released, g)
+			delete(st.gates, nextV)
+		}
+	}
+	var wait *cluster.Gate
+	if int(v) > len(st.published) {
+		wait = st.gates[v]
+		if wait == nil {
+			wait = cluster.NewGate()
+			st.gates[v] = wait
+		}
+	}
+	vm.mu.Unlock()
+	for _, g := range released {
+		g.Open(ctx)
+	}
+	if wait != nil {
+		wait.Wait(ctx)
+	}
+	return nil
+}
+
+// Published returns (without cost) how many versions of id are visible.
+func (vm *VersionManager) Published(id ID) int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return 0
+	}
+	return len(st.published)
+}

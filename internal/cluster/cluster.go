@@ -1,0 +1,194 @@
+// Package cluster models the IaaS datacenter of the paper's §2.1: a set
+// of commodity nodes, each with a local disk and a full-duplex NIC,
+// interconnected by a non-blocking Ethernet switch.
+//
+// The package's central abstraction is Fabric, the execution substrate
+// the storage stacks run on. Two implementations are provided:
+//
+//   - Live: zero-cost, real goroutines. Every operation completes
+//     immediately in virtual-time terms; data paths still move real
+//     bytes. This is what unit tests and the runnable examples use.
+//
+//   - Sim: a discrete-event simulation calibrated to the paper's
+//     Grid'5000 testbed (117.5 MB/s TCP, 0.1 ms RTT, 55 MB/s disks).
+//     Time costs are charged on shared resources (max-min fair NIC
+//     links, processor-shared disks), which is what reproduces the
+//     contention behaviour of the paper's figures.
+//
+// Storage code is written once against Ctx and runs unchanged on both.
+package cluster
+
+import (
+	"fmt"
+
+	"blobvfs/internal/sim"
+)
+
+// NodeID identifies a node in the cluster. Valid IDs are 0..Nodes()-1.
+type NodeID int
+
+// Config carries the physical constants of the modeled cluster. The
+// defaults (see DefaultConfig) come from §5.1 of the paper; a few are
+// calibrated, as documented in DESIGN.md §6.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// NICBandwidth is per-direction NIC capacity in bytes/s.
+	NICBandwidth float64
+	// RTT is the network round-trip latency in seconds.
+	RTT float64
+	// ReqOverhead is the fixed per-request processing cost in seconds
+	// (marshaling, syscalls, server dispatch) charged on every RPC.
+	ReqOverhead float64
+	// LocalRPC is the cost of an RPC whose endpoints share a node.
+	LocalRPC float64
+	// DiskBandwidth is local-disk streaming bandwidth in bytes/s.
+	DiskBandwidth float64
+	// DiskSeek is the per-operation positioning time in seconds. It is
+	// charged as equivalent disk-capacity consumption, so seeks compete
+	// with streaming transfers for the disk like they do in reality.
+	DiskSeek float64
+	// WriteBuffer is the per-node asynchronous write-back buffer in
+	// bytes. Writers reserve buffer space and a background drainer pays
+	// the disk cost, which is the mechanism behind BlobSeer's fast
+	// asynchronous COMMIT acknowledgements (paper §5.3).
+	WriteBuffer int64
+}
+
+// DefaultConfig returns the Grid'5000 Nancy cluster constants of §5.1.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		NICBandwidth:  117.5e6,
+		RTT:           1e-4,
+		ReqOverhead:   3e-4,
+		LocalRPC:      2e-5,
+		DiskBandwidth: 55e6,
+		DiskSeek:      6e-3,
+		WriteBuffer:   64 << 20,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: Nodes = %d, need > 0", c.Nodes)
+	}
+	if c.NICBandwidth <= 0 || c.DiskBandwidth <= 0 {
+		return fmt.Errorf("cluster: bandwidths must be positive")
+	}
+	if c.WriteBuffer <= 0 {
+		return fmt.Errorf("cluster: WriteBuffer must be positive")
+	}
+	return nil
+}
+
+// Task is a handle to an activity spawned with Ctx.Go; join it with
+// Ctx.Wait.
+type Task interface {
+	isTask()
+}
+
+// Fabric is the execution substrate: it spawns activities on nodes,
+// charges time for network, disk and CPU use, and accounts traffic.
+type Fabric interface {
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Config returns the physical constants in force.
+	Config() Config
+	// Run executes fn as the root activity on node 0 and blocks until
+	// every activity spawned (transitively) has finished.
+	Run(fn func(*Ctx))
+	// Now returns the current virtual time in seconds (always 0 on the
+	// live fabric, which has no notion of time).
+	Now() float64
+
+	// NetTraffic returns cumulative off-node network traffic in bytes.
+	NetTraffic() int64
+	// ResetTraffic zeroes the traffic counter.
+	ResetTraffic()
+
+	spawn(name string, node NodeID, parent *Ctx, fn func(*Ctx)) Task
+	wait(ctx *Ctx, t Task)
+	sleep(ctx *Ctx, d float64)
+	compute(ctx *Ctx, d float64)
+	rpc(ctx *Ctx, from, to NodeID, reqBytes, respBytes int64)
+	diskRead(ctx *Ctx, node NodeID, bytes int64)
+	diskWrite(ctx *Ctx, node NodeID, bytes int64, async bool)
+}
+
+// Ctx is the context of one activity (a simulated thread of control):
+// it knows which node it runs on and charges costs through its fabric.
+// A Ctx must only be used by the activity it was created for.
+type Ctx struct {
+	fab  Fabric
+	node NodeID
+	// Proc is the underlying simulation process on the Sim fabric and
+	// nil on the Live fabric. Exposed for advanced models (e.g. custom
+	// resources); normal code should use the Ctx methods.
+	Proc *sim.Proc
+}
+
+// Node returns the node this activity runs on.
+func (c *Ctx) Node() NodeID { return c.node }
+
+// Fabric returns the underlying fabric.
+func (c *Ctx) Fabric() Fabric { return c.fab }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() float64 { return c.fab.Now() }
+
+// Sleep suspends the activity for d seconds of virtual time.
+func (c *Ctx) Sleep(d float64) { c.fab.sleep(c, d) }
+
+// Compute charges d seconds of CPU work on the activity's node.
+func (c *Ctx) Compute(d float64) { c.fab.compute(c, d) }
+
+// RPC charges a request/response exchange from this activity's node to
+// `to`, with the given payload sizes in each direction. The charge
+// covers latency, fixed per-request overhead, and fair-shared bandwidth
+// along the sender's uplink and receiver's downlink. Node-local calls
+// cost Config.LocalRPC and generate no network traffic.
+func (c *Ctx) RPC(to NodeID, reqBytes, respBytes int64) {
+	c.fab.rpc(c, c.node, to, reqBytes, respBytes)
+}
+
+// DiskRead charges a read of the given size on node's local disk.
+func (c *Ctx) DiskRead(node NodeID, bytes int64) { c.fab.diskRead(c, node, bytes) }
+
+// DiskWrite charges a synchronous write on node's local disk.
+func (c *Ctx) DiskWrite(node NodeID, bytes int64) { c.fab.diskWrite(c, node, bytes, false) }
+
+// DiskWriteAsync buffers a write in node's write-back buffer. The call
+// blocks only while the buffer is full; draining to disk proceeds in
+// the background. This models the asynchronous write strategy BlobSeer
+// uses to acknowledge COMMIT before data reaches the platters.
+func (c *Ctx) DiskWriteAsync(node NodeID, bytes int64) { c.fab.diskWrite(c, node, bytes, true) }
+
+// Go spawns a new activity running fn on the given node.
+func (c *Ctx) Go(name string, node NodeID, fn func(*Ctx)) Task {
+	return c.fab.spawn(name, node, c, fn)
+}
+
+// Wait blocks until the task finishes.
+func (c *Ctx) Wait(t Task) { c.fab.wait(c, t) }
+
+// WaitAll blocks until every task finishes.
+func (c *Ctx) WaitAll(ts []Task) {
+	for _, t := range ts {
+		c.fab.wait(c, t)
+	}
+}
+
+// Parallel runs the functions as concurrent activities on this node and
+// returns when all have finished.
+func (c *Ctx) Parallel(name string, fns ...func(*Ctx)) {
+	if len(fns) == 1 {
+		fns[0](c)
+		return
+	}
+	tasks := make([]Task, 0, len(fns))
+	for _, fn := range fns {
+		tasks = append(tasks, c.Go(name, c.node, fn))
+	}
+	c.WaitAll(tasks)
+}

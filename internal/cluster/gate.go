@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"sync"
+
+	"blobvfs/internal/sim"
+)
+
+// Gate is a one-shot latch usable from both fabrics: activities Wait
+// until some other activity Opens it. On the live fabric it is a closed
+// channel; on the sim fabric it is a condition variable in virtual
+// time. Opening an already-open gate is a no-op.
+type Gate struct {
+	mu   sync.Mutex
+	open bool
+	ch   chan struct{}
+	cond sim.Cond
+}
+
+// NewGate returns a closed gate.
+func NewGate() *Gate {
+	return &Gate{ch: make(chan struct{})}
+}
+
+// Opened reports whether the gate has been opened.
+func (g *Gate) Opened() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.open
+}
+
+// Wait blocks the activity until the gate opens.
+func (g *Gate) Wait(ctx *Ctx) {
+	if ctx.Proc != nil {
+		// Simulation: single-threaded, no locking needed.
+		if g.open {
+			return
+		}
+		g.cond.Wait(ctx.Proc)
+		return
+	}
+	g.mu.Lock()
+	if g.open {
+		g.mu.Unlock()
+		return
+	}
+	ch := g.ch
+	g.mu.Unlock()
+	<-ch
+}
+
+// Open releases all current and future waiters.
+func (g *Gate) Open(ctx *Ctx) {
+	g.mu.Lock()
+	if g.open {
+		g.mu.Unlock()
+		return
+	}
+	g.open = true
+	close(g.ch)
+	g.mu.Unlock()
+	if ctx.Proc != nil {
+		g.cond.Broadcast(ctx.Proc.Env())
+	}
+}

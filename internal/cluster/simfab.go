@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+
+	"blobvfs/internal/sim"
+	"blobvfs/internal/sim/flownet"
+)
+
+// Sim is the discrete-event fabric: it charges every network, disk and
+// CPU operation on shared, contended resources in virtual time.
+//
+// Network: each node has a full-duplex NIC modeled as an uplink and a
+// downlink in a max-min fair flow network; the switch core is assumed
+// non-blocking (Gigabit Ethernet cluster, §5.1 of the paper).
+//
+// Disk: each node's disk is a processor-sharing pool; per-operation
+// positioning (seek) is charged as equivalent bandwidth consumption.
+//
+// Asynchronous writes: each node has a bounded write-back buffer drained
+// to disk in the background, giving the fast-then-degrading COMMIT
+// latencies the paper observes for BlobSeer (§5.3).
+type Sim struct {
+	cfg     Config
+	env     *sim.Env
+	net     *flownet.Net
+	up      []*flownet.Link
+	down    []*flownet.Link
+	disks   []*sim.PSPool
+	wbuf    []*sim.Semaphore
+	traffic int64
+}
+
+// NewSim returns a simulated fabric with the given configuration.
+func NewSim(cfg Config) *Sim {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	env := sim.New()
+	f := &Sim{
+		cfg:   cfg,
+		env:   env,
+		net:   flownet.New(env),
+		up:    make([]*flownet.Link, cfg.Nodes),
+		down:  make([]*flownet.Link, cfg.Nodes),
+		disks: make([]*sim.PSPool, cfg.Nodes),
+		wbuf:  make([]*sim.Semaphore, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		f.up[i] = f.net.NewLink(fmt.Sprintf("n%d.up", i), cfg.NICBandwidth)
+		f.down[i] = f.net.NewLink(fmt.Sprintf("n%d.down", i), cfg.NICBandwidth)
+		f.disks[i] = sim.NewPSPool(env, fmt.Sprintf("n%d.disk", i), cfg.DiskBandwidth)
+		f.wbuf[i] = sim.NewSemaphore(env, cfg.WriteBuffer)
+	}
+	return f
+}
+
+// Env exposes the underlying simulation environment (for custom models
+// and tests).
+func (f *Sim) Env() *sim.Env { return f.env }
+
+// Net exposes the flow network (for custom transfer paths, e.g. the
+// broadcast trees of the prepropagation baseline).
+func (f *Sim) Net() *flownet.Net { return f.net }
+
+// Uplink returns node n's NIC uplink.
+func (f *Sim) Uplink(n NodeID) *flownet.Link { return f.up[n] }
+
+// Downlink returns node n's NIC downlink.
+func (f *Sim) Downlink(n NodeID) *flownet.Link { return f.down[n] }
+
+// Disk returns node n's disk pool.
+func (f *Sim) Disk(n NodeID) *sim.PSPool { return f.disks[n] }
+
+// Nodes returns the cluster size.
+func (f *Sim) Nodes() int { return f.cfg.Nodes }
+
+// Config returns the physical constants in force.
+func (f *Sim) Config() Config { return f.cfg }
+
+// Now returns the current virtual time in seconds.
+func (f *Sim) Now() float64 { return f.env.Now() }
+
+// NetTraffic returns cumulative off-node traffic in bytes.
+func (f *Sim) NetTraffic() int64 { return f.traffic }
+
+// ResetTraffic zeroes the traffic counter.
+func (f *Sim) ResetTraffic() { f.traffic = 0 }
+
+// Run executes fn as the root activity on node 0 and drives the
+// simulation until the event queue drains. Setting BLOBVFS_SIM_DEBUG
+// makes Run log virtual-time progress to stderr, which helps diagnose
+// event storms in models.
+func (f *Sim) Run(fn func(*Ctx)) {
+	f.env.Go("main", func(p *sim.Proc) {
+		fn(&Ctx{fab: f, node: 0, Proc: p})
+	})
+	if os.Getenv("BLOBVFS_SIM_DEBUG") != "" {
+		for f.env.Pending() > 0 {
+			f.env.RunUntil(f.env.Now() + 5)
+			fmt.Fprintf(os.Stderr, "sim: now=%10.3f pending=%8d procs=%6d steps=%12d next=%v\n",
+				f.env.Now(), f.env.Pending(), f.env.Procs(), f.env.Steps(), f.env.PendingTimes(6))
+		}
+	} else {
+		f.env.Run()
+	}
+	if n := f.env.Procs(); n != 0 {
+		panic(fmt.Sprintf("cluster: simulation deadlock, %d processes still blocked", n))
+	}
+}
+
+type simTask struct {
+	proc *sim.Proc
+}
+
+func (*simTask) isTask() {}
+
+func (f *Sim) spawn(name string, node NodeID, _ *Ctx, fn func(*Ctx)) Task {
+	f.checkNode(node)
+	p := f.env.Go(name, func(p *sim.Proc) {
+		fn(&Ctx{fab: f, node: node, Proc: p})
+	})
+	return &simTask{proc: p}
+}
+
+func (f *Sim) wait(ctx *Ctx, t Task) {
+	ctx.Proc.Join(t.(*simTask).proc)
+}
+
+func (f *Sim) sleep(ctx *Ctx, d float64)   { ctx.Proc.Sleep(d) }
+func (f *Sim) compute(ctx *Ctx, d float64) { ctx.Proc.Sleep(d) }
+
+// smallPayload is the cutoff below which an RPC payload is charged as
+// serialization delay instead of occupying the flow network: a message
+// of a few KB fits in the socket buffers and never contends for
+// sustained bandwidth, while creating a flow for it would make the
+// max-min recomputation the simulation's bottleneck under metadata
+// chatter.
+const smallPayload = 8 << 10
+
+func (f *Sim) rpc(ctx *Ctx, from, to NodeID, reqBytes, respBytes int64) {
+	f.checkNode(from)
+	f.checkNode(to)
+	p := ctx.Proc
+	if from == to {
+		p.Sleep(f.cfg.LocalRPC)
+		return
+	}
+	f.traffic += reqBytes + respBytes
+	delay := f.cfg.RTT + f.cfg.ReqOverhead
+	if reqBytes > 0 && reqBytes <= smallPayload {
+		delay += float64(reqBytes) / f.cfg.NICBandwidth
+		reqBytes = 0
+	}
+	if respBytes > 0 && respBytes <= smallPayload {
+		delay += float64(respBytes) / f.cfg.NICBandwidth
+		respBytes = 0
+	}
+	p.Sleep(delay)
+	if reqBytes > 0 {
+		f.net.Transfer(p, float64(reqBytes), f.up[from], f.down[to])
+	}
+	if respBytes > 0 {
+		f.net.Transfer(p, float64(respBytes), f.up[to], f.down[from])
+	}
+}
+
+// TransferVia performs a raw one-way bulk transfer from one node to
+// another through any extra constraint links (e.g. a per-edge throttle
+// modeling a pipelined broadcast chain's effective rate). The transfer
+// is charged as network traffic. Callers on the live fabric should use
+// Ctx.RPC instead; this entry point exists for transport models such as
+// the prepropagation broadcast tree.
+func (f *Sim) TransferVia(ctx *Ctx, from, to NodeID, bytes int64, extra ...*flownet.Link) {
+	f.checkNode(from)
+	f.checkNode(to)
+	if bytes <= 0 || from == to {
+		return
+	}
+	f.traffic += bytes
+	ctx.Proc.Sleep(f.cfg.RTT)
+	links := append([]*flownet.Link{f.up[from], f.down[to]}, extra...)
+	f.net.Transfer(ctx.Proc, float64(bytes), links...)
+}
+
+// seekCost converts positioning time into equivalent bandwidth units so
+// seeks occupy the disk alongside streaming transfers.
+func (f *Sim) seekCost() float64 { return f.cfg.DiskSeek * f.cfg.DiskBandwidth }
+
+func (f *Sim) diskRead(ctx *Ctx, node NodeID, bytes int64) {
+	f.checkNode(node)
+	if bytes <= 0 {
+		return
+	}
+	f.disks[node].Use(ctx.Proc, float64(bytes)+f.seekCost())
+}
+
+func (f *Sim) diskWrite(ctx *Ctx, node NodeID, bytes int64, async bool) {
+	f.checkNode(node)
+	if bytes <= 0 {
+		return
+	}
+	if !async {
+		f.disks[node].Use(ctx.Proc, float64(bytes)+f.seekCost())
+		return
+	}
+	// Reserve buffer space (blocking only under backpressure), then
+	// drain to disk in the background and release the reservation.
+	buf := f.wbuf[node]
+	disk := f.disks[node]
+	work := float64(bytes) + f.seekCost()
+	if bytes > buf.Capacity() {
+		// Oversized writes bypass the buffer and go straight to disk.
+		disk.Use(ctx.Proc, work)
+		return
+	}
+	buf.Acquire(ctx.Proc, bytes)
+	f.env.Go("write-back", func(p *sim.Proc) {
+		disk.Use(p, work)
+		buf.Release(bytes)
+	})
+}
+
+func (f *Sim) checkNode(n NodeID) {
+	if n < 0 || int(n) >= f.cfg.Nodes {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", n, f.cfg.Nodes))
+	}
+}

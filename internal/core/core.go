@@ -1,0 +1,235 @@
+// Package core is the library's public façade: a virtual file system
+// for VM images that ties together the versioning blob store
+// (internal/blob), the per-node mirroring modules (internal/mirror)
+// and a name registry, behind an API shaped like the paper's cloud
+// integration (Fig. 1): upload and download images, mirror them on
+// compute nodes, CLONE and COMMIT snapshots.
+//
+// A minimal session looks like:
+//
+//	fab := cluster.NewLive(8)
+//	store := core.New(core.Options{Fabric: fab})
+//	fab.Run(func(ctx *cluster.Ctx) {
+//		ref, _ := store.UploadBytes(ctx, "debian", imageBytes)
+//		img, _ := store.Open(ctx, ref, true)   // raw file for the hypervisor
+//		img.WriteAt(ctx, patch, off)           // local modification
+//		snap, _ := store.Snapshot(ctx, img)    // CLONE+COMMIT → standalone image
+//		store.Tag("debian-configured", snap)
+//	})
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/mirror"
+)
+
+// Ref names one immutable image snapshot: a blob lineage and a version
+// within it. Every Ref is a standalone raw image regardless of how
+// much storage it physically shares with others.
+type Ref struct {
+	Blob    blob.ID
+	Version blob.Version
+}
+
+// Options configures a Store.
+type Options struct {
+	// Fabric is the cluster to deploy on (live or simulated).
+	Fabric cluster.Fabric
+	// ProviderNodes lists the nodes whose local disks form the storage
+	// pool; defaults to all nodes (§3.1.1: aggregate everything).
+	ProviderNodes []cluster.NodeID
+	// ManagerNode hosts the version manager; defaults to node 0.
+	ManagerNode cluster.NodeID
+	// Replicas is the chunk replication degree; defaults to 1.
+	Replicas int
+	// ChunkSize is the stripe unit; defaults to 256 KB (§5.2).
+	ChunkSize int
+	// Mirror configures the mirroring modules.
+	Mirror mirror.Config
+}
+
+// Store is the image repository plus the per-node mirroring modules.
+// It is safe for concurrent use from multiple activities.
+type Store struct {
+	opts Options
+	sys  *blob.System
+
+	mu      sync.Mutex
+	names   map[string]Ref
+	modules map[cluster.NodeID]*mirror.Module
+}
+
+// New deploys a Store on a fabric.
+func New(opts Options) *Store {
+	if opts.Fabric == nil {
+		panic("core: Options.Fabric is required")
+	}
+	if opts.ChunkSize == 0 {
+		opts.ChunkSize = 256 << 10
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = 1
+	}
+	if opts.ProviderNodes == nil {
+		for i := 0; i < opts.Fabric.Nodes(); i++ {
+			opts.ProviderNodes = append(opts.ProviderNodes, cluster.NodeID(i))
+		}
+	}
+	if opts.Mirror == (mirror.Config{}) {
+		opts.Mirror = mirror.DefaultConfig()
+	}
+	return &Store{
+		opts:    opts,
+		sys:     blob.NewSystem(opts.ProviderNodes, opts.ManagerNode, opts.Replicas),
+		names:   make(map[string]Ref),
+		modules: make(map[cluster.NodeID]*mirror.Module),
+	}
+}
+
+// System exposes the underlying blob system (for advanced callers and
+// the experiment harness).
+func (s *Store) System() *blob.System { return s.sys }
+
+// module returns the mirroring module of a node, creating it on first
+// use; each module owns a blob client and thus a metadata cache.
+func (s *Store) module(node cluster.NodeID) *mirror.Module {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.modules[node]
+	if !ok {
+		m = mirror.NewModule(node, blob.NewClient(s.sys), s.opts.Mirror)
+		s.modules[node] = m
+	}
+	return m
+}
+
+// UploadBytes stores data as a new image and returns its Ref,
+// registering it under name (empty name skips registration).
+func (s *Store) UploadBytes(ctx *cluster.Ctx, name string, data []byte) (Ref, error) {
+	if len(data) == 0 {
+		return Ref{}, fmt.Errorf("core: empty image")
+	}
+	c := blob.NewClient(s.sys)
+	id, err := c.Create(ctx, int64(len(data)), s.opts.ChunkSize)
+	if err != nil {
+		return Ref{}, err
+	}
+	v, err := c.WriteAt(ctx, id, 0, data, 0)
+	if err != nil {
+		return Ref{}, err
+	}
+	ref := Ref{Blob: id, Version: v}
+	if name != "" {
+		s.Tag(name, ref)
+	}
+	return ref, nil
+}
+
+// UploadSynthetic registers an image of the given size whose content
+// is synthetic (costed but carrying no bytes); used at simulation
+// scale where a 2 GB byte slice per instance would be absurd.
+func (s *Store) UploadSynthetic(ctx *cluster.Ctx, name string, size int64) (Ref, error) {
+	c := blob.NewClient(s.sys)
+	id, err := c.Create(ctx, size, s.opts.ChunkSize)
+	if err != nil {
+		return Ref{}, err
+	}
+	v, err := c.WriteFull(ctx, id, 0, uint64(id))
+	if err != nil {
+		return Ref{}, err
+	}
+	ref := Ref{Blob: id, Version: v}
+	if name != "" {
+		s.Tag(name, ref)
+	}
+	return ref, nil
+}
+
+// Tag registers (or moves) a name to a Ref.
+func (s *Store) Tag(name string, ref Ref) {
+	s.mu.Lock()
+	s.names[name] = ref
+	s.mu.Unlock()
+}
+
+// Resolve looks a name up.
+func (s *Store) Resolve(name string) (Ref, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.names[name]
+	return ref, ok
+}
+
+// Names returns all registered image names.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.names))
+	for n := range s.names {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Open mirrors an image snapshot on the calling activity's node and
+// returns the raw-file view the hypervisor would mount. real selects
+// whether actual bytes are materialized.
+func (s *Store) Open(ctx *cluster.Ctx, ref Ref, real bool) (*mirror.Image, error) {
+	return s.module(ctx.Node()).Open(ctx, ref.Blob, ref.Version, real)
+}
+
+// Snapshot persists an open image's local modifications as a new
+// standalone snapshot and returns its Ref. The first snapshot of an
+// image opened from a shared base CLONEs it into its own lineage
+// first, exactly as the middleware of §3.2 does.
+func (s *Store) Snapshot(ctx *cluster.Ctx, im *mirror.Image, fresh bool) (Ref, error) {
+	if fresh {
+		if err := im.Clone(ctx); err != nil {
+			return Ref{}, err
+		}
+	}
+	v, err := im.Commit(ctx)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Blob: im.BlobID(), Version: v}, nil
+}
+
+// Clone duplicates a snapshot into a new independent lineage without
+// opening it (O(1) metadata; no data copied).
+func (s *Store) Clone(ctx *cluster.Ctx, ref Ref) (Ref, error) {
+	c := blob.NewClient(s.sys)
+	id, err := c.Clone(ctx, ref.Blob, ref.Version)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Blob: id, Version: 1}, nil
+}
+
+// Download reads a whole snapshot into buf (the cloud client's "get
+// image" path). buf must be at least the image size.
+func (s *Store) Download(ctx *cluster.Ctx, ref Ref, buf []byte) error {
+	c := blob.NewClient(s.sys)
+	inf, err := c.Info(ctx, ref.Blob)
+	if err != nil {
+		return err
+	}
+	if int64(len(buf)) < inf.Size {
+		return fmt.Errorf("core: buffer %d < image size %d", len(buf), inf.Size)
+	}
+	return c.ReadAt(ctx, ref.Blob, ref.Version, buf[:inf.Size], 0)
+}
+
+// Size returns a snapshot's logical size.
+func (s *Store) Size(ctx *cluster.Ctx, ref Ref) (int64, error) {
+	c := blob.NewClient(s.sys)
+	inf, err := c.Info(ctx, ref.Blob)
+	if err != nil {
+		return 0, err
+	}
+	return inf.Size, nil
+}

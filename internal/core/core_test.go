@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"blobvfs/internal/cluster"
+)
+
+func img(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed) + i*11)
+	}
+	return b
+}
+
+func newStore(nodes int) (*cluster.Live, *Store) {
+	fab := cluster.NewLive(nodes)
+	return fab, New(Options{Fabric: fab, ChunkSize: 4 << 10})
+}
+
+func TestUploadOpenSnapshotDownload(t *testing.T) {
+	fab, store := newStore(4)
+	fab.Run(func(ctx *cluster.Ctx) {
+		base := img(64<<10, 1)
+		ref, err := store.UploadBytes(ctx, "debian", base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := store.Resolve("debian"); !ok || got != ref {
+			t.Fatal("name not registered")
+		}
+		im, err := store.Open(ctx, ref, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patch := []byte("configured!")
+		if _, err := im.WriteAt(ctx, patch, 1000); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := store.Snapshot(ctx, im, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Blob == ref.Blob {
+			t.Fatal("fresh snapshot did not clone into a new lineage")
+		}
+		store.Tag("debian-configured", snap)
+
+		// Download the snapshot: base + patch.
+		size, err := store.Size(ctx, snap)
+		if err != nil || size != 64<<10 {
+			t.Fatalf("Size = %d, %v", size, err)
+		}
+		buf := make([]byte, size)
+		if err := store.Download(ctx, snap, buf); err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), base...)
+		copy(want[1000:], patch)
+		if !bytes.Equal(buf, want) {
+			t.Fatal("downloaded snapshot wrong")
+		}
+		// The original image is untouched.
+		if err := store.Download(ctx, ref, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, base) {
+			t.Fatal("original image modified")
+		}
+	})
+}
+
+func TestSnapshotWithoutCloneStaysInLineage(t *testing.T) {
+	fab, store := newStore(2)
+	fab.Run(func(ctx *cluster.Ctx) {
+		ref, _ := store.UploadBytes(ctx, "a", img(16<<10, 2))
+		im, _ := store.Open(ctx, ref, true)
+		if _, err := im.WriteAt(ctx, []byte{9}, 0); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := store.Snapshot(ctx, im, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Blob != ref.Blob || snap.Version != ref.Version+1 {
+			t.Fatalf("snapshot = %+v, want same blob next version", snap)
+		}
+	})
+}
+
+func TestCloneWithoutOpen(t *testing.T) {
+	fab, store := newStore(3)
+	fab.Run(func(ctx *cluster.Ctx) {
+		ref, _ := store.UploadBytes(ctx, "a", img(16<<10, 3))
+		clone, err := store.Clone(ctx, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clone.Blob == ref.Blob {
+			t.Fatal("clone did not create a new lineage")
+		}
+		buf := make([]byte, 16<<10)
+		if err := store.Download(ctx, clone, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, img(16<<10, 3)) {
+			t.Fatal("clone contents differ")
+		}
+	})
+}
+
+func TestUploadSynthetic(t *testing.T) {
+	fab, store := newStore(2)
+	fab.Run(func(ctx *cluster.Ctx) {
+		ref, err := store.UploadSynthetic(ctx, "big", 8<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := store.Size(ctx, ref)
+		if err != nil || size != 8<<20 {
+			t.Fatalf("Size = %d, %v", size, err)
+		}
+		im, err := store.Open(ctx, ref, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := im.Read(ctx, 0, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestNamesAndTags(t *testing.T) {
+	fab, store := newStore(2)
+	fab.Run(func(ctx *cluster.Ctx) {
+		r1, _ := store.UploadBytes(ctx, "x", img(4096, 1))
+		store.Tag("y", r1)
+		names := store.Names()
+		if len(names) != 2 {
+			t.Fatalf("Names = %v", names)
+		}
+		if _, ok := store.Resolve("z"); ok {
+			t.Fatal("unknown name resolved")
+		}
+		store.Tag("x", Ref{Blob: r1.Blob, Version: r1.Version}) // retag is fine
+	})
+}
+
+func TestValidation(t *testing.T) {
+	fab, store := newStore(2)
+	fab.Run(func(ctx *cluster.Ctx) {
+		if _, err := store.UploadBytes(ctx, "e", nil); err == nil {
+			t.Error("empty upload accepted")
+		}
+		ref, _ := store.UploadBytes(ctx, "a", img(4096, 1))
+		if err := store.Download(ctx, ref, make([]byte, 10)); err == nil {
+			t.Error("short download buffer accepted")
+		}
+		if _, err := store.Size(ctx, Ref{Blob: 99, Version: 1}); err == nil {
+			t.Error("unknown ref accepted")
+		}
+	})
+}
+
+func TestDefaultOptions(t *testing.T) {
+	fab := cluster.NewLive(5)
+	store := New(Options{Fabric: fab})
+	fab.Run(func(ctx *cluster.Ctx) {
+		ref, err := store.UploadBytes(ctx, "d", img(300<<10, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Default chunk size 256 KB: a 300 KB image occupies 2 chunks.
+		inf, err := store.System().VM.Info(ctx, ref.Blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inf.ChunkSize != 256<<10 || inf.Chunks() != 2 {
+			t.Fatalf("geometry = %+v", inf)
+		}
+	})
+}

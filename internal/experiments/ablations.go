@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/metrics"
+	"blobvfs/internal/middleware"
+)
+
+// This file implements the ablations for the design choices the paper
+// argues qualitatively in §3.1.3 but does not plot:
+//
+//   - chunk size: "a chunk that is too large may lead to false
+//     sharing ... a chunk that is too small implies a higher access
+//     overhead" — the 256 KB choice "optimizes the trade-off";
+//   - replication: "a high degree of replication raises availability
+//     ... at the expense of higher storage space requirements".
+
+// ChunkSizePoint is one chunk-size ablation measurement.
+type ChunkSizePoint struct {
+	ChunkSize  int
+	AvgBoot    float64
+	Completion float64
+	TrafficGB  float64
+}
+
+// RunChunkSizeAblation deploys n instances under our approach for each
+// chunk size and reports the boot metrics. Expect a U-shape in boot
+// time: small chunks pay per-request overhead, large chunks transfer
+// unused data and serialize concurrent readers (false sharing).
+func RunChunkSizeAblation(p Params, n int, sizes []int) []ChunkSizePoint {
+	out := make([]ChunkSizePoint, 0, len(sizes))
+	for _, cs := range sizes {
+		pc := p
+		pc.ChunkSize = cs
+		pt := runFig4Point(pc, n, OurApproach)
+		out = append(out, ChunkSizePoint{
+			ChunkSize:  cs,
+			AvgBoot:    pt.AvgBoot,
+			Completion: pt.Completion,
+			TrafficGB:  pt.TrafficGB,
+		})
+	}
+	return out
+}
+
+// ChunkSizeTable renders the ablation.
+func ChunkSizeTable(points []ChunkSizePoint) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Ablation: chunk size trade-off (§3.1.3), our approach",
+		Columns: []string{"chunk size (KB)", "avg boot (s)", "completion (s)", "traffic (GB)"},
+	}
+	for _, pt := range points {
+		t.AddRow(
+			itoa(pt.ChunkSize>>10),
+			ftoa(pt.AvgBoot),
+			ftoa(pt.Completion),
+			fmt.Sprintf("%.3f", pt.TrafficGB),
+		)
+	}
+	return t
+}
+
+// ReplicationPoint is one replication-degree ablation measurement.
+type ReplicationPoint struct {
+	Replicas    int
+	Completion  float64
+	StorageGB   float64 // raw provider storage including replicas
+	SurvivesOne bool    // all content readable after one provider loss
+}
+
+// RunReplicationAblation deploys n instances at each replication
+// degree and probes fault tolerance by killing one provider after the
+// deployment: with r = 1 some chunks become unreadable; with r ≥ 2
+// everything survives, at r× the storage cost.
+func RunReplicationAblation(p Params, n int, degrees []int) []ReplicationPoint {
+	out := make([]ReplicationPoint, 0, len(degrees))
+	for _, r := range degrees {
+		pr := p
+		pr.Replicas = r
+		env := NewEnv(pr, n, OurApproach)
+		mb := env.Backend.(*middleware.MirrorBackend)
+		var point ReplicationPoint
+		point.Replicas = r
+		env.Run(func(ctx *cluster.Ctx) {
+			dep, err := env.Orch.Deploy(ctx)
+			if err != nil {
+				panic(err)
+			}
+			point.Completion = dep.Completion
+		})
+		point.StorageGB = float64(mb.Sys.Providers.StoredBytes()) * float64(r) / 1e9
+		// Fault injection: kill provider 0, then try to read a window of
+		// the image from a fresh client on another node. With a single
+		// replica, chunks homed on the dead provider are lost.
+		mb.Sys.Providers.Kill(env.Nodes[0])
+		point.SurvivesOne = true
+		env.Run(func(ctx *cluster.Ctx) {
+			done := ctx.Go("probe", env.Nodes[1%len(env.Nodes)], func(cc *cluster.Ctx) {
+				c := blob.NewClient(mb.Sys)
+				if _, err := c.FetchChunks(cc, mb.ImageID, mb.ImageV, 0, minI64(256, imageChunks(pr))); err != nil {
+					point.SurvivesOne = false
+				}
+			})
+			ctx.Wait(done)
+		})
+		out = append(out, point)
+	}
+	return out
+}
+
+// ReplicationTable renders the ablation.
+func ReplicationTable(points []ReplicationPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Ablation: replication degree (§3.1.3), our approach",
+		Columns: []string{"replicas", "deploy completion (s)", "raw storage (GB)", "survives provider loss"},
+	}
+	for _, pt := range points {
+		surv := "no"
+		if pt.SurvivesOne {
+			surv = "yes"
+		}
+		t.AddRow(itoa(pt.Replicas), ftoa(pt.Completion), fmt.Sprintf("%.3f", pt.StorageGB), surv)
+	}
+	return t
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func imageChunks(p Params) int64 {
+	return (p.ImageSize + int64(p.ChunkSize) - 1) / int64(p.ChunkSize)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/middleware"
+	"blobvfs/internal/nfs"
+	"blobvfs/internal/pvfs"
+	"blobvfs/internal/sim"
+	"blobvfs/internal/vmmodel"
+)
+
+// Approach selects a storage backend for an experiment run.
+type Approach int
+
+// The three compared systems of §5.2.
+const (
+	OurApproach Approach = iota
+	QcowOverPVFS
+	TaktukPreprop
+)
+
+// String returns the paper's series label.
+func (a Approach) String() string {
+	switch a {
+	case OurApproach:
+		return "our approach, 256K chunks"
+	case QcowOverPVFS:
+		return "qcow2 over PVFS, 256K stripe"
+	case TaktukPreprop:
+		return "taktuk pre-propagation"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Env is one configured simulation, mirroring the paper's setup: a
+// cluster of MaxInstances compute nodes (the full Nancy cluster) plus
+// one dedicated service node (NFS server / version manager host). The
+// storage service is always deployed over ALL compute nodes (§3.1.1:
+// the pool aggregates every local disk), while only the first n nodes
+// host VM instances — so per-provider read pressure grows with n,
+// which is the contention the paper measures. Setup costs are
+// excluded: the traffic counter is reset and times are deltas.
+type Env struct {
+	P        Params
+	Fab      *cluster.Sim
+	All      []cluster.NodeID // all compute nodes (storage pool)
+	Nodes    []cluster.NodeID // nodes hosting VM instances (first n)
+	Service  cluster.NodeID   // dedicated service node
+	Backend  middleware.Backend
+	Orch     *middleware.Orchestrator
+	baseOps  []vmmodel.TraceOp
+	traceRNG *sim.RNG
+	jitRNG   *sim.RNG
+}
+
+// NewEnv builds the simulation for n instances under the given
+// approach. The heavy lifting (image upload or PVFS/NFS priming) runs
+// inside the simulation before the environment is handed back.
+func NewEnv(p Params, n int, a Approach) *Env {
+	if n < 1 {
+		panic("experiments: need at least one instance")
+	}
+	total := p.MaxInstances
+	if n > total {
+		total = n
+	}
+	cfg := cluster.DefaultConfig(total + 1)
+	if p.WriteBuffer > 0 {
+		cfg.WriteBuffer = p.WriteBuffer
+	}
+	fab := cluster.NewSim(cfg)
+	env := &Env{
+		P:        p,
+		Fab:      fab,
+		Service:  cluster.NodeID(total),
+		baseOps:  p.baseTrace(),
+		traceRNG: sim.NewRNG(p.Seed + 1),
+		jitRNG:   sim.NewRNG(p.Seed + 2),
+	}
+	for i := 0; i < total; i++ {
+		env.All = append(env.All, cluster.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		env.Nodes = append(env.Nodes, cluster.NodeID(i))
+	}
+
+	fab.Run(func(ctx *cluster.Ctx) {
+		switch a {
+		case OurApproach:
+			sys := blob.NewSystem(env.All, env.Service, p.Replicas)
+			c := blob.NewClient(sys)
+			id, err := c.Create(ctx, p.ImageSize, p.ChunkSize)
+			if err != nil {
+				panic(err)
+			}
+			v, err := c.WriteFull(ctx, id, 0, 1)
+			if err != nil {
+				panic(err)
+			}
+			env.Backend = middleware.NewMirrorBackend(sys, id, v)
+		case QcowOverPVFS:
+			fs := pvfs.New(env.All, p.ChunkSize)
+			if _, err := fs.Create(ctx, "base.raw", p.ImageSize, false); err != nil {
+				panic(err)
+			}
+			env.Backend = middleware.NewQcowBackend(fs, "base.raw")
+		case TaktukPreprop:
+			srv := nfs.NewServer(env.Service)
+			if err := srv.Put(ctx, "base.raw", p.ImageSize, nil); err != nil {
+				panic(err)
+			}
+			b := middleware.NewPrepropBackend(srv, "base.raw", p.ImageSize)
+			b.EffRate = p.BcastRate
+			env.Backend = b
+		}
+	})
+	fab.ResetTraffic()
+
+	env.Orch = &middleware.Orchestrator{
+		Backend: env.Backend,
+		Nodes:   env.Nodes,
+		TraceFor: func(i int) []vmmodel.TraceOp {
+			return vmmodel.WithThinkJitter(env.baseOps, env.traceRNG.Fork(), p.Boot.TotalThink)
+		},
+		StartJitter: func(i int) float64 {
+			return env.jitRNG.Uniform(p.JitterMin, p.JitterMax)
+		},
+	}
+	return env
+}
+
+// Run executes fn as the root activity of the environment's simulation.
+func (e *Env) Run(fn func(ctx *cluster.Ctx)) { e.Fab.Run(fn) }
+
+// SnapshotWrites applies the §5.3 local-modification pattern to a
+// disk: ~diff bytes of configuration files and contextualization
+// state, written as run-sized sequential bursts at scattered spots.
+// Bursts are aligned to the run length: the guest writes whole small
+// files, so by snapshot time the dirty chunks are fully local and the
+// measured snapshot cost is shipping the diff, exactly as in the
+// paper's experiment.
+func SnapshotWrites(ctx *cluster.Ctx, disk vmmodel.VirtualDisk, diff int64, runLen int64, rng *sim.RNG) error {
+	if runLen <= 0 {
+		runLen = 256 << 10
+	}
+	size := disk.Size()
+	slots := size / runLen
+	written := int64(0)
+	for written < diff {
+		l := runLen
+		if written+l > diff {
+			l = diff - written
+		}
+		off := rng.Int63n(slots) * runLen
+		if err := disk.Write(ctx, off, l); err != nil {
+			return err
+		}
+		written += l
+	}
+	return nil
+}

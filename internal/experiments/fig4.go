@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/metrics"
+	"blobvfs/internal/middleware"
+)
+
+// Fig4Point is one sweep point of the multideployment experiment for
+// one approach.
+type Fig4Point struct {
+	Instances  int
+	AvgBoot    float64 // Fig. 4(a): mean per-instance boot time (s)
+	Completion float64 // Fig. 4(b): time to boot all instances (s)
+	TrafficGB  float64 // Fig. 4(d): total network traffic (GB)
+}
+
+// Fig4Result holds the full multideployment sweep.
+type Fig4Result struct {
+	Sweep  []int
+	Series map[Approach][]Fig4Point
+}
+
+// RunFig4 executes the multideployment experiment of §5.2 over the
+// sweep for all three approaches.
+func RunFig4(p Params, sweep []int) *Fig4Result {
+	res := &Fig4Result{Sweep: sweep, Series: make(map[Approach][]Fig4Point)}
+	for _, a := range []Approach{TaktukPreprop, QcowOverPVFS, OurApproach} {
+		for _, n := range sweep {
+			res.Series[a] = append(res.Series[a], runFig4Point(p, n, a))
+		}
+	}
+	return res
+}
+
+func runFig4Point(p Params, n int, a Approach) Fig4Point {
+	env := NewEnv(p, n, a)
+	var dep *middleware.DeployResult
+	env.Run(func(ctx *cluster.Ctx) {
+		var err error
+		dep, err = env.Orch.Deploy(ctx)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return Fig4Point{
+		Instances:  n,
+		AvgBoot:    metrics.Summarize(dep.BootTimes()).Mean,
+		Completion: dep.Completion,
+		TrafficGB:  float64(env.Fab.NetTraffic()) / 1e9,
+	}
+}
+
+// Tables renders the paper's four panels from the sweep.
+func (r *Fig4Result) Tables() []*metrics.Table {
+	mk := func(title string, f func(pt Fig4Point) float64, format string) *metrics.Table {
+		var series []*metrics.Series
+		for _, a := range []Approach{TaktukPreprop, QcowOverPVFS, OurApproach} {
+			s := &metrics.Series{Name: a.String()}
+			for _, pt := range r.Series[a] {
+				s.Add(float64(pt.Instances), f(pt))
+			}
+			series = append(series, s)
+		}
+		return metrics.FromSeries(title, "instances", format, series...)
+	}
+	avg := mk("Fig 4(a): average time to boot per instance (s)",
+		func(pt Fig4Point) float64 { return pt.AvgBoot }, "%.2f")
+	total := mk("Fig 4(b): completion time to boot all instances (s)",
+		func(pt Fig4Point) float64 { return pt.Completion }, "%.2f")
+	traffic := mk("Fig 4(d): total network traffic (GB)",
+		func(pt Fig4Point) float64 { return pt.TrafficGB }, "%.2f")
+
+	// Fig. 4(c): speedup of our approach's completion time.
+	speedup := &metrics.Table{
+		Title:   "Fig 4(c): speedup of completion time for our approach",
+		Columns: []string{"instances", "speedup vs. taktuk", "speedup vs. qcow2 over PVFS"},
+	}
+	for i := range r.Sweep {
+		ours := r.Series[OurApproach][i].Completion
+		vsT := r.Series[TaktukPreprop][i].Completion / ours
+		vsQ := r.Series[QcowOverPVFS][i].Completion / ours
+		speedup.AddRow(
+			itoa(r.Sweep[i]),
+			ftoa(vsT),
+			ftoa(vsQ),
+		)
+	}
+	return []*metrics.Table{avg, total, speedup, traffic}
+}

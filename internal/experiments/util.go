@@ -1,0 +1,7 @@
+package experiments
+
+import "strconv"
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }

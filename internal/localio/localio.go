@@ -1,0 +1,115 @@
+// Package localio models the node-local I/O paths compared in §5.4 of
+// the paper (Fig. 6 and Fig. 7): the hypervisor accessing a raw image
+// file directly, versus accessing it through the FUSE-based mirroring
+// module whose local file is mmap'ed by the module.
+//
+// Both figures measure purely local behaviour (Bonnie++ writes then
+// reads back its own data, so no remote fetches are involved); what
+// differs between the two paths is per-operation software overhead and
+// the write-back strategy:
+//
+//   - the direct path pays the hypervisor's block-layer syscall cost
+//     on every operation and uses the hypervisor's default writeback;
+//   - the mirror path pays an extra user/kernel FUSE crossing on every
+//     operation, but absorbs writes via mmap — the kernel's write-back
+//     runs asynchronously and batches much better, which the paper
+//     measures as roughly doubled write throughput (Fig. 6), while
+//     metadata-ish operations (seeks, create, delete) get slower
+//     (Fig. 7).
+//
+// The model is a virtual-time accumulator, not a DES: Bonnie++ is a
+// single sequential process, so costs simply add.
+package localio
+
+// Path is one local I/O path model with a virtual-time accumulator.
+type Path struct {
+	// PerOp is the fixed software cost of one data operation (syscall,
+	// virtio exit, block layer) in seconds.
+	PerOp float64
+	// ExtraCrossing is the additional FUSE user/kernel crossing cost
+	// per operation (0 for the direct path).
+	ExtraCrossing float64
+	// CopyRate is the memory copy bandwidth in bytes/s.
+	CopyRate float64
+	// WriteFactor scales the per-byte cost of writes relative to a pure
+	// memory copy: the direct path's default hypervisor write-back
+	// throttles harder (>1); the mmap path approaches 1.
+	WriteFactor float64
+	// MetaOp is the base cost of one metadata operation (create,
+	// delete, seek) in seconds.
+	MetaOp float64
+	// MetaCrossings is the number of FUSE crossings a metadata
+	// operation pays on this path.
+	MetaCrossings int
+
+	clock float64
+}
+
+// DirectPath returns the hypervisor-direct model (the "local" bars of
+// Fig. 6/7), calibrated to the paper's Bonnie++ measurements on the
+// Grid'5000 nodes.
+func DirectPath() *Path {
+	return &Path{
+		PerOp:       17e-6,
+		CopyRate:    2.5e9,
+		WriteFactor: 5.2,
+		MetaOp:      28e-6,
+	}
+}
+
+// MirrorPath returns the FUSE + mmap model (the "our-approach" bars).
+// Cached data operations go through the kernel VFS cache and cost the
+// same as the direct path (§4.1: FUSE "benefits of the cache
+// management implemented in the kernel"); writes are absorbed by the
+// mmap write-back (WriteFactor < 1); metadata operations pay the FUSE
+// user/kernel crossings.
+func MirrorPath() *Path {
+	return &Path{
+		PerOp:         17e-6,
+		ExtraCrossing: 20e-6,
+		CopyRate:      2.5e9,
+		WriteFactor:   0.5,
+		MetaOp:        28e-6,
+		MetaCrossings: 2,
+	}
+}
+
+// Now returns the accumulated virtual time in seconds.
+func (p *Path) Now() float64 { return p.clock }
+
+// Reset zeroes the accumulated time.
+func (p *Path) Reset() { p.clock = 0 }
+
+// WriteBlock charges one block write of n bytes.
+func (p *Path) WriteBlock(n int64) {
+	p.clock += p.PerOp + float64(n)/p.CopyRate*p.WriteFactor
+}
+
+// ReadBlock charges one cached block read of n bytes (Bonnie++ reads
+// back data it just wrote, so reads hit the page cache on both paths).
+func (p *Path) ReadBlock(n int64) {
+	p.clock += p.PerOp + float64(n)/p.CopyRate
+}
+
+// OverwriteBlock charges one read-modify-write block update.
+func (p *Path) OverwriteBlock(n int64) {
+	// Bonnie++ overwrite: read the block, lseek back, write it.
+	p.clock += p.PerOp + float64(n)/p.CopyRate*(1+p.WriteFactor)
+}
+
+// Seek charges one random seek (plus the read Bonnie++ issues there).
+func (p *Path) Seek() {
+	p.clock += p.MetaOp + float64(p.MetaCrossings)*p.ExtraCrossing
+}
+
+// CreateFile charges one file creation.
+func (p *Path) CreateFile() {
+	p.clock += p.MetaOp + float64(p.MetaCrossings)*p.ExtraCrossing
+}
+
+// DeleteFile charges one file deletion. Deletions walk more FUSE
+// round trips (lookup + unlink + forget), which is why the paper sees
+// the biggest gap here.
+func (p *Path) DeleteFile() {
+	p.clock += p.MetaOp + float64(p.MetaCrossings+1)*p.ExtraCrossing
+}

@@ -1,0 +1,57 @@
+package localio
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorAddsCosts(t *testing.T) {
+	p := &Path{PerOp: 10e-6, CopyRate: 1e9, WriteFactor: 2, MetaOp: 5e-6}
+	p.WriteBlock(1000) // 10µs + 1µs*2 = 12µs
+	if !almost(p.Now(), 12e-6, 1e-9) {
+		t.Fatalf("clock = %v, want 12µs", p.Now())
+	}
+	p.ReadBlock(1000) // +11µs
+	if !almost(p.Now(), 23e-6, 1e-9) {
+		t.Fatalf("clock = %v, want 23µs", p.Now())
+	}
+	p.Reset()
+	if p.Now() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+	p.Seek()
+	if !almost(p.Now(), 5e-6, 1e-9) {
+		t.Fatalf("seek cost %v, want 5µs", p.Now())
+	}
+}
+
+func TestCrossingsMultiplyForMetadataOps(t *testing.T) {
+	p := &Path{MetaOp: 10e-6, ExtraCrossing: 20e-6, MetaCrossings: 2}
+	p.CreateFile() // 10 + 2*20 = 50µs
+	if !almost(p.Now(), 50e-6, 1e-9) {
+		t.Fatalf("create = %v, want 50µs", p.Now())
+	}
+	p.Reset()
+	p.DeleteFile() // 10 + 3*20 = 70µs (one extra crossing)
+	if !almost(p.Now(), 70e-6, 1e-9) {
+		t.Fatalf("delete = %v, want 70µs", p.Now())
+	}
+}
+
+func TestDirectVsMirrorOrdering(t *testing.T) {
+	d, m := DirectPath(), MirrorPath()
+	d.WriteBlock(8 << 10)
+	m.WriteBlock(8 << 10)
+	if m.Now() >= d.Now() {
+		t.Fatalf("mirror write (%v) not faster than direct (%v)", m.Now(), d.Now())
+	}
+	d.Reset()
+	m.Reset()
+	d.Seek()
+	m.Seek()
+	if m.Now() <= d.Now() {
+		t.Fatalf("mirror seek (%v) not slower than direct (%v)", m.Now(), d.Now())
+	}
+}

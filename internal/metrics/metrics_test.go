@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip degenerate inputs
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile(nil) not NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	for i := 1; i <= 3; i++ {
+		a.Add(float64(i), float64(i*10))
+		b.Add(float64(i), float64(i*100))
+	}
+	tb := FromSeries("title", "x", "%.1f", a, b)
+	out := tb.String()
+	if !strings.Contains(out, "# title") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "30.0") || !strings.Contains(out, "300.0") {
+		t.Fatalf("missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + 3 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMismatchedSeriesLengths(t *testing.T) {
+	a := &Series{Name: "a"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := &Series{Name: "b"}
+	b.Add(1, 1)
+	tb := FromSeries("t", "x", "%.0f", a, b)
+	if !strings.Contains(tb.String(), "-") {
+		t.Fatalf("missing placeholder for short series:\n%s", tb.String())
+	}
+}
+
+func TestAddRowAlignment(t *testing.T) {
+	tb := &Table{Columns: []string{"col", "value"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The "value" column must start at the same offset on each line.
+	idx := strings.Index(lines[1], "1")
+	idx2 := strings.Index(lines[2], "22")
+	if idx != idx2 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,246 @@
+// Package middleware models the cloud middleware layer of Fig. 1 in
+// the paper: it coordinates compute nodes to deploy a set of VM
+// instances from an initial image (multideployment) and to snapshot
+// them concurrently (multisnapshotting), issuing CLONE and COMMIT to
+// the mirroring modules exactly as §3.2 describes.
+//
+// Three interchangeable storage backends implement the Backend
+// interface — the paper's approach and its two baselines — so the
+// experiment harness runs identical deployment logic over all three.
+package middleware
+
+import (
+	"fmt"
+	"sync"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/broadcast"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/mirror"
+	"blobvfs/internal/nfs"
+	"blobvfs/internal/pvfs"
+	"blobvfs/internal/qcow2"
+	"blobvfs/internal/vmmodel"
+)
+
+// Backend abstracts how an instance's image is provisioned and
+// snapshotted.
+type Backend interface {
+	// Name identifies the backend in results ("our-approach", ...).
+	Name() string
+	// Prepare runs the global initialization phase before any instance
+	// starts (the broadcast for prepropagation; a no-op for the lazy
+	// schemes).
+	Prepare(ctx *cluster.Ctx, nodes []cluster.NodeID) error
+	// Provision makes instance i's virtual disk available on node and
+	// returns it; called once per instance at hypervisor launch.
+	Provision(ctx *cluster.Ctx, i int, node cluster.NodeID) (vmmodel.VirtualDisk, error)
+	// Snapshot persists instance i's local modifications to the
+	// repository.
+	Snapshot(ctx *cluster.Ctx, i int, node cluster.NodeID, disk vmmodel.VirtualDisk) error
+}
+
+// MirrorBackend is the paper's approach: lazy mirroring over the
+// versioning blob store, CLONE+COMMIT snapshotting.
+type MirrorBackend struct {
+	Sys     *blob.System
+	ImageID blob.ID
+	ImageV  blob.Version
+	Cfg     mirror.Config
+
+	mu      sync.Mutex
+	modules map[cluster.NodeID]*mirror.Module
+}
+
+// NewMirrorBackend creates the backend for a base image already
+// uploaded to sys.
+func NewMirrorBackend(sys *blob.System, id blob.ID, v blob.Version) *MirrorBackend {
+	return &MirrorBackend{
+		Sys:     sys,
+		ImageID: id,
+		ImageV:  v,
+		Cfg:     mirror.DefaultConfig(),
+		modules: make(map[cluster.NodeID]*mirror.Module),
+	}
+}
+
+// Name implements Backend.
+func (b *MirrorBackend) Name() string { return "our-approach" }
+
+// Prepare implements Backend: lazy schemes need no initialization.
+func (b *MirrorBackend) Prepare(ctx *cluster.Ctx, nodes []cluster.NodeID) error { return nil }
+
+// module returns (creating on demand) the node's mirroring module.
+// Each module gets its own blob client, hence its own metadata cache —
+// caching is per node, as in the real deployment.
+func (b *MirrorBackend) module(node cluster.NodeID) *mirror.Module {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.modules[node]
+	if !ok {
+		m = mirror.NewModule(node, blob.NewClient(b.Sys), b.Cfg)
+		b.modules[node] = m
+	}
+	return m
+}
+
+// Provision implements Backend: expose the snapshot as a local raw
+// file through the node's mirroring module.
+func (b *MirrorBackend) Provision(ctx *cluster.Ctx, i int, node cluster.NodeID) (vmmodel.VirtualDisk, error) {
+	return b.module(node).Open(ctx, b.ImageID, b.ImageV, false)
+}
+
+// Snapshot implements Backend: first CLONE (so every instance gets its
+// own lineage), then COMMIT; later snapshots of the same instance only
+// COMMIT, per §3.2.
+func (b *MirrorBackend) Snapshot(ctx *cluster.Ctx, i int, node cluster.NodeID, disk vmmodel.VirtualDisk) error {
+	im, ok := disk.(*mirror.Image)
+	if !ok {
+		return fmt.Errorf("middleware: mirror snapshot of foreign disk %T", disk)
+	}
+	if im.BlobID() == b.ImageID {
+		if err := im.Clone(ctx); err != nil {
+			return err
+		}
+	}
+	_, err := im.Commit(ctx)
+	return err
+}
+
+// OpenOn mirrors an arbitrary snapshot on an arbitrary node: this is
+// how a terminated instance resumes on a fresh node from the
+// standalone image its CLONE+COMMIT produced (§5.5's suspend/resume
+// setting, and the migration scenario of §3.2).
+func (b *MirrorBackend) OpenOn(ctx *cluster.Ctx, node cluster.NodeID, id blob.ID, v blob.Version) (*mirror.Image, error) {
+	return b.module(node).Open(ctx, id, v, false)
+}
+
+// QcowBackend is the qcow2-over-PVFS baseline: the raw base image is
+// striped on PVFS; each instance gets a local qcow2 CoW file backed by
+// it; a snapshot copies the qcow2 file back into PVFS as a new
+// (dependent) file.
+type QcowBackend struct {
+	FS          *pvfs.FS
+	BackingName string
+	ClusterSize int
+
+	mu     sync.Mutex
+	rounds map[int]int
+}
+
+// NewQcowBackend creates the baseline over an image already stored in
+// fs under backingName.
+func NewQcowBackend(fs *pvfs.FS, backingName string) *QcowBackend {
+	return &QcowBackend{
+		FS:          fs,
+		BackingName: backingName,
+		ClusterSize: qcow2.DefaultClusterSize,
+		rounds:      make(map[int]int),
+	}
+}
+
+// SnapName returns the deterministic PVFS name of instance i's round-th
+// snapshot (rounds start at 1).
+func (b *QcowBackend) SnapName(i, round int) string {
+	return fmt.Sprintf("%s.snap-%d-%d", b.BackingName, i, round)
+}
+
+// LastSnapshot returns the name of instance i's most recent snapshot,
+// or "" if it has none.
+func (b *QcowBackend) LastSnapshot(i int) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rounds[i] == 0 {
+		return ""
+	}
+	return b.SnapName(i, b.rounds[i])
+}
+
+// Name implements Backend.
+func (b *QcowBackend) Name() string { return "qcow2-over-pvfs" }
+
+// Prepare implements Backend: creating qcow2 files is per-instance and
+// cheap, so there is no global phase.
+func (b *QcowBackend) Prepare(ctx *cluster.Ctx, nodes []cluster.NodeID) error { return nil }
+
+// Provision implements Backend.
+func (b *QcowBackend) Provision(ctx *cluster.Ctx, i int, node cluster.NodeID) (vmmodel.VirtualDisk, error) {
+	backing, err := b.FS.Open(ctx, b.BackingName)
+	if err != nil {
+		return nil, err
+	}
+	// Creating the empty qcow2 file costs one local-disk metadata write.
+	ctx.DiskWrite(node, 64<<10)
+	return qcow2.Create(node, backing, b.ClusterSize, false)
+}
+
+// Snapshot implements Backend: read the local qcow2 file and copy it
+// into PVFS under a fresh name (the paper's concurrent qcow2 copy).
+func (b *QcowBackend) Snapshot(ctx *cluster.Ctx, i int, node cluster.NodeID, disk vmmodel.VirtualDisk) error {
+	img, ok := disk.(*qcow2.Image)
+	if !ok {
+		return fmt.Errorf("middleware: qcow2 snapshot of foreign disk %T", disk)
+	}
+	bytes := img.FileBytes()
+	b.mu.Lock()
+	b.rounds[i]++
+	name := b.SnapName(i, b.rounds[i])
+	b.mu.Unlock()
+	ctx.DiskRead(node, bytes)
+	f, err := b.FS.Create(ctx, name, bytes, false)
+	if err != nil {
+		return err
+	}
+	return f.WriteAt(ctx, nil, 0, bytes)
+}
+
+// PrepropBackend is the taktuk-prepropagation baseline: the image is
+// broadcast from a central NFS server to every node's local disk
+// before any instance starts; boots are then purely local. Snapshots
+// copy the full image back to the server — the operation the paper
+// rules out as infeasible at scale, kept here so the cost can be
+// demonstrated.
+type PrepropBackend struct {
+	Server    *nfs.Server
+	ImageName string
+	ImageSize int64
+	EffRate   float64
+
+	mu       sync.Mutex
+	snapshot int
+}
+
+// NewPrepropBackend creates the baseline for an image stored on srv.
+func NewPrepropBackend(srv *nfs.Server, name string, size int64) *PrepropBackend {
+	return &PrepropBackend{Server: srv, ImageName: name, ImageSize: size, EffRate: broadcast.DefaultEffRate}
+}
+
+// Name implements Backend.
+func (b *PrepropBackend) Name() string { return "taktuk-preprop" }
+
+// Prepare implements Backend: the full broadcast.
+func (b *PrepropBackend) Prepare(ctx *cluster.Ctx, nodes []cluster.NodeID) error {
+	targets := make([]cluster.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if n != b.Server.Node() {
+			targets = append(targets, n)
+		}
+	}
+	broadcast.Binomial(ctx, b.Server.Node(), targets, b.ImageSize, b.EffRate)
+	return nil
+}
+
+// Provision implements Backend: the image is already local.
+func (b *PrepropBackend) Provision(ctx *cluster.Ctx, i int, node cluster.NodeID) (vmmodel.VirtualDisk, error) {
+	return &vmmodel.LocalRaw{NodeID: node, Bytes: b.ImageSize}, nil
+}
+
+// Snapshot implements Backend: ship the whole image back.
+func (b *PrepropBackend) Snapshot(ctx *cluster.Ctx, i int, node cluster.NodeID, disk vmmodel.VirtualDisk) error {
+	ctx.DiskRead(node, b.ImageSize)
+	b.mu.Lock()
+	b.snapshot++
+	name := fmt.Sprintf("%s.snap-%d-%d", b.ImageName, i, b.snapshot)
+	b.mu.Unlock()
+	return b.Server.Put(ctx, name, b.ImageSize, nil)
+}

@@ -1,0 +1,520 @@
+// Package mirror implements the paper's core contribution: the
+// mirroring module that exposes a BlobSeer snapshot to the hypervisor
+// as a plain raw image file on the local disk, while lazily fetching
+// content on first access and keeping all modifications local until a
+// snapshot is requested (paper §3.1.2, §3.3, §4.2).
+//
+// In the paper the module is a FUSE file system; here it is a library
+// with the same structure. The R/W translator turns hypervisor reads
+// and writes into local and remote operations; the local modification
+// manager tracks, per chunk, one contiguous mirrored region and one
+// contiguous dirty region, which bounds fragmentation metadata to
+// O(chunks) (strategy 2 of §3.3). Remote reads always fetch the full
+// minimal set of chunks covering the requested range (strategy 1).
+//
+// The control primitives CLONE and COMMIT — ioctls in the paper — are
+// the Image.Clone and Image.Commit methods.
+package mirror
+
+import (
+	"fmt"
+	"sync"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+)
+
+// Config carries the module's modeling constants.
+type Config struct {
+	// OpOverhead is the per-operation user/kernel crossing cost of the
+	// FUSE layer in seconds (context switches, §4.1 of the paper).
+	OpOverhead float64
+}
+
+// DefaultConfig returns the calibrated FUSE crossing cost.
+func DefaultConfig() Config {
+	return Config{OpOverhead: 20e-6}
+}
+
+// Module is the per-node mirroring module. It owns the node's local
+// mirror files and their persisted modification metadata, so an image
+// closed on this node can be reopened with its local state restored
+// (paper §4.2: the local modification manager writes its metadata next
+// to the local file on close).
+type Module struct {
+	node   cluster.NodeID
+	client *blob.Client
+	cfg    Config
+
+	mu     sync.Mutex
+	closed map[blob.ID]*localState // persisted local state by origin blob
+}
+
+type localState struct {
+	version blob.Version
+	chunks  []chunkState
+	local   []byte
+}
+
+// chunkState is the local modification manager's record for one chunk:
+// at most one contiguous mirrored byte range [MirLo,MirHi) and one
+// contiguous dirty byte range [DirtyLo,DirtyHi), both chunk-relative.
+// Dirty is always contained in mirrored.
+type chunkState struct {
+	MirLo, MirHi     int32
+	DirtyLo, DirtyHi int32
+}
+
+func (cs chunkState) mirrored() bool { return cs.MirHi > cs.MirLo }
+func (cs chunkState) dirty() bool    { return cs.DirtyHi > cs.DirtyLo }
+
+// NewModule creates the mirroring module for a node, attached to the
+// blob storage service through client.
+func NewModule(node cluster.NodeID, client *blob.Client, cfg Config) *Module {
+	return &Module{
+		node:   node,
+		client: client,
+		cfg:    cfg,
+		closed: make(map[blob.ID]*localState),
+	}
+}
+
+// Node returns the node this module runs on.
+func (m *Module) Node() cluster.NodeID { return m.node }
+
+// Stats aggregates an image's access accounting.
+type Stats struct {
+	Reads, Writes      int64 // hypervisor-issued operations
+	RemoteChunkFetches int64 // chunks fetched from the repository
+	RemoteBytesFetched int64 // payload bytes fetched
+	LocalReads         int64 // reads served entirely from the mirror
+	GapFills           int64 // writes that forced a remote gap fill
+	Commits, Clones    int64
+	CommittedChunks    int64
+	CommittedBytes     int64
+	PrefetchedChunks   int64 // chunks brought in by Prefetch, not demand
+}
+
+// Image is an open mirrored image: the raw file the hypervisor sees.
+// Methods must be called from the owning activity; an Image is not
+// safe for concurrent use (a VM's virtual disk has one queue here,
+// like the paper's one-FUSE-mount-per-VM deployment).
+type Image struct {
+	mod     *Module
+	blobID  blob.ID
+	version blob.Version
+	info    blob.Info
+	chunks  []chunkState
+	local   []byte // real local mirror; nil when running synthetic
+	open    bool
+	stats   Stats
+
+	// accessOrder records the chunk indices fetched on demand, in
+	// order — the access profile of §7's proposed prefetching scheme.
+	accessOrder []int64
+	prefetching bool
+}
+
+// Open mirrors snapshot (id, v) as a local raw image file. If the
+// module holds persisted local state for this blob (from a previous
+// Close on this node), it is restored, including dirty data. When
+// real is true the image materializes a local byte buffer and serves
+// actual data; synthetic images only track state and costs.
+func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (*Image, error) {
+	if ctx.Node() != m.node {
+		return nil, fmt.Errorf("mirror: open from node %d on module of node %d", ctx.Node(), m.node)
+	}
+	inf, err := m.client.Info(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{mod: m, blobID: id, version: v, info: inf, open: true}
+	m.mu.Lock()
+	st := m.closed[id]
+	if st != nil && st.version == v {
+		delete(m.closed, id)
+	} else {
+		st = nil
+	}
+	m.mu.Unlock()
+	if st != nil {
+		im.chunks = st.chunks
+		im.local = st.local
+		// Re-reading the persisted modification metadata costs one
+		// local-disk access.
+		ctx.DiskRead(m.node, int64(len(st.chunks))*16)
+		if real && im.local == nil {
+			return nil, fmt.Errorf("mirror: image %d was closed synthetic, cannot reopen real", id)
+		}
+		return im, nil
+	}
+	im.chunks = make([]chunkState, inf.Chunks())
+	if real {
+		im.local = make([]byte, inf.Size)
+	}
+	return im, nil
+}
+
+// Close releases the image and persists its local modification state
+// on the module, so a later Open of the same snapshot on this node
+// resumes where it left off.
+func (im *Image) Close(ctx *cluster.Ctx) {
+	if !im.open {
+		return
+	}
+	im.open = false
+	// Writing the modification metadata next to the local file.
+	ctx.DiskWrite(im.mod.node, int64(len(im.chunks))*16)
+	im.mod.mu.Lock()
+	im.mod.closed[im.blobID] = &localState{version: im.version, chunks: im.chunks, local: im.local}
+	im.mod.mu.Unlock()
+}
+
+// Size returns the image size in bytes.
+func (im *Image) Size() int64 { return im.info.Size }
+
+// BlobID returns the blob currently backing the image (changes after
+// Clone).
+func (im *Image) BlobID() blob.ID { return im.blobID }
+
+// Version returns the snapshot the image currently mirrors (changes
+// after Commit).
+func (im *Image) Version() blob.Version { return im.version }
+
+// Stats returns a copy of the image's counters.
+func (im *Image) Stats() Stats { return im.stats }
+
+// Dirty reports whether the image has uncommitted local modifications.
+func (im *Image) Dirty() bool {
+	for i := range im.chunks {
+		if im.chunks[i].dirty() {
+			return true
+		}
+	}
+	return false
+}
+
+// chunkLen returns the length of chunk ci (last chunk may be short).
+func (im *Image) chunkLen(ci int64) int32 {
+	cs := int64(im.info.ChunkSize)
+	if (ci+1)*cs <= im.info.Size {
+		return int32(cs)
+	}
+	return int32(im.info.Size - ci*cs)
+}
+
+// ReadAt implements the hypervisor read path on a real image.
+func (im *Image) ReadAt(ctx *cluster.Ctx, p []byte, off int64) (int, error) {
+	if err := im.access(ctx, off, int64(len(p)), p, false); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteAt implements the hypervisor write path on a real image.
+func (im *Image) WriteAt(ctx *cluster.Ctx, p []byte, off int64) (int, error) {
+	if err := im.access(ctx, off, int64(len(p)), p, true); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Read charges a read of [off, off+n) without moving data (synthetic
+// images; the boot-trace driver uses this).
+func (im *Image) Read(ctx *cluster.Ctx, off, n int64) error {
+	return im.access(ctx, off, n, nil, false)
+}
+
+// Write charges a write of [off, off+n) without moving data.
+func (im *Image) Write(ctx *cluster.Ctx, off, n int64) error {
+	return im.access(ctx, off, n, nil, true)
+}
+
+// access is the R/W translator (§3.3). It validates the range, charges
+// the FUSE crossing, and dispatches per overlapped chunk.
+func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) error {
+	if !im.open {
+		return fmt.Errorf("mirror: access on closed image")
+	}
+	if n == 0 {
+		return nil
+	}
+	if off < 0 || off+n > im.info.Size {
+		return fmt.Errorf("mirror: access [%d,%d) outside image size %d", off, off+n, im.info.Size)
+	}
+	if p != nil && im.local == nil {
+		return fmt.Errorf("mirror: data access on synthetic image")
+	}
+	ctx.Sleep(im.mod.cfg.OpOverhead)
+	if write {
+		im.stats.Writes++
+	} else {
+		im.stats.Reads++
+	}
+
+	cs := int64(im.info.ChunkSize)
+	lo, hi := off/cs, (off+n+cs-1)/cs
+	if !write {
+		// Strategy 1: fetch the full minimal set of chunks covering the
+		// requested region that are not fully mirrored, as whole chunks,
+		// grouped into contiguous runs so the repository sees ranged
+		// requests.
+		if err := im.ensureMirrored(ctx, lo, hi); err != nil {
+			return err
+		}
+		im.stats.LocalReads++ // now served locally
+		if p != nil {
+			copy(p, im.local[off:off+n])
+		}
+		return nil
+	}
+	// Write path: per chunk, keep the mirrored region contiguous.
+	for ci := lo; ci < hi; ci++ {
+		cstart := ci * cs
+		wlo := int32(max64(off, cstart) - cstart)
+		whi := int32(min64(off+n, cstart+int64(im.chunkLen(ci))) - cstart)
+		st := &im.chunks[ci]
+		switch {
+		case !st.mirrored():
+			st.MirLo, st.MirHi = wlo, whi
+		case wlo <= st.MirHi && whi >= st.MirLo:
+			// Overlaps or adjoins: extend the contiguous region.
+			if wlo < st.MirLo {
+				st.MirLo = wlo
+			}
+			if whi > st.MirHi {
+				st.MirHi = whi
+			}
+		default:
+			// Strategy 2: the write would fragment the mirrored region;
+			// fill the gap by fetching the whole chunk remotely first.
+			im.stats.GapFills++
+			if err := im.fetchChunks(ctx, ci, ci+1); err != nil {
+				return err
+			}
+		}
+		// Track the dirty hull (contained in the mirrored region).
+		if !st.dirty() {
+			st.DirtyLo, st.DirtyHi = wlo, whi
+		} else {
+			if wlo < st.DirtyLo {
+				st.DirtyLo = wlo
+			}
+			if whi > st.DirtyHi {
+				st.DirtyHi = whi
+			}
+		}
+	}
+	if p != nil {
+		copy(im.local[off:off+n], p)
+	}
+	// The mmap'd local file absorbs the write; the kernel writes back
+	// asynchronously (§4.2).
+	ctxDiskWriteAsync(ctx, im.mod.node, n)
+	return nil
+}
+
+// ensureMirrored makes chunks [lo,hi) fully mirrored, fetching missing
+// ones in contiguous runs.
+func (im *Image) ensureMirrored(ctx *cluster.Ctx, lo, hi int64) error {
+	runStart := int64(-1)
+	for ci := lo; ci <= hi; ci++ {
+		missing := ci < hi && !im.fullyMirrored(ci)
+		if missing && runStart < 0 {
+			runStart = ci
+		}
+		if !missing && runStart >= 0 {
+			if err := im.fetchChunks(ctx, runStart, ci); err != nil {
+				return err
+			}
+			runStart = -1
+		}
+	}
+	return nil
+}
+
+func (im *Image) fullyMirrored(ci int64) bool {
+	st := im.chunks[ci]
+	return st.MirLo == 0 && st.MirHi == im.chunkLen(ci)
+}
+
+// fetchChunks fetches whole chunks [lo,hi) from the repository and
+// merges them into the local mirror, preserving dirty bytes. After the
+// merge each chunk is fully mirrored. Fetched content is persisted on
+// the local disk by the kernel's asynchronous write-back.
+func (im *Image) fetchChunks(ctx *cluster.Ctx, lo, hi int64) error {
+	fetched, err := im.mod.client.FetchChunks(ctx, im.blobID, im.version, lo, hi)
+	if err != nil {
+		return err
+	}
+	cs := int64(im.info.ChunkSize)
+	var bytes int64
+	for _, fc := range fetched {
+		st := &im.chunks[fc.Index]
+		clen := im.chunkLen(fc.Index)
+		if im.local != nil {
+			cstart := fc.Index * cs
+			dst := im.local[cstart : cstart+int64(clen)]
+			for i := int32(0); i < clen; i++ {
+				if i >= st.DirtyLo && i < st.DirtyHi {
+					continue // local modification wins
+				}
+				if fc.Payload.Real() && int(i) < len(fc.Payload.Data) {
+					dst[i] = fc.Payload.Data[i]
+				} else {
+					dst[i] = 0
+				}
+			}
+		}
+		st.MirLo, st.MirHi = 0, clen
+		im.stats.RemoteChunkFetches++
+		im.stats.RemoteBytesFetched += int64(fc.Payload.Size)
+		if im.prefetching {
+			im.stats.PrefetchedChunks++
+		} else {
+			im.accessOrder = append(im.accessOrder, fc.Index)
+		}
+		bytes += int64(fc.Payload.Size)
+	}
+	ctxDiskWriteAsync(ctx, im.mod.node, bytes)
+	return nil
+}
+
+// AccessOrder returns the chunk indices this image fetched on demand,
+// in first-access order — a reusable access profile for deployments
+// of the same image (§7's "prefetching scheme based on previous
+// experience with the access pattern").
+func (im *Image) AccessOrder() []int64 {
+	return append([]int64(nil), im.accessOrder...)
+}
+
+// Prefetch walks an access profile and fetches every not-yet-mirrored
+// chunk in profile order, so that a boot following the same pattern
+// finds its working set already local. Call it from a concurrent
+// activity to overlap with the boot, or beforehand for a warm start.
+// Chunks fetched here are counted as PrefetchedChunks, not demand
+// fetches, and do not pollute the image's own access profile.
+func (im *Image) Prefetch(ctx *cluster.Ctx, profile []int64) error {
+	if !im.open {
+		return fmt.Errorf("mirror: prefetch on closed image")
+	}
+	for _, ci := range profile {
+		if ci < 0 || ci >= int64(len(im.chunks)) {
+			return fmt.Errorf("mirror: prefetch chunk %d outside image", ci)
+		}
+		if im.fullyMirrored(ci) {
+			continue
+		}
+		im.prefetching = true
+		err := im.fetchChunks(ctx, ci, ci+1)
+		im.prefetching = false
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone redirects the image to a fresh blob that logically duplicates
+// the currently mirrored snapshot (the CLONE primitive). Local state —
+// mirrored regions and dirty data — is untouched; only the identity of
+// the remote object changes, at O(1) metadata cost (Fig. 3(b)).
+func (im *Image) Clone(ctx *cluster.Ctx) error {
+	if !im.open {
+		return fmt.Errorf("mirror: clone on closed image")
+	}
+	clone, err := im.mod.client.Clone(ctx, im.blobID, im.version)
+	if err != nil {
+		return err
+	}
+	im.blobID = clone
+	im.version = 1
+	im.stats.Clones++
+	return nil
+}
+
+// Commit publishes all local modifications as a new standalone snapshot
+// of the image's blob (the COMMIT primitive) and returns its version.
+// Dirty chunks are pushed whole (chunk-granular copy-on-write); a dirty
+// chunk that is not fully mirrored is gap-filled first so its complete
+// content exists locally. With no local modifications Commit returns
+// the current version unchanged.
+func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
+	if !im.open {
+		return 0, fmt.Errorf("mirror: commit on closed image")
+	}
+	var dirtyIdx []int64
+	for ci := range im.chunks {
+		if im.chunks[ci].dirty() {
+			dirtyIdx = append(dirtyIdx, int64(ci))
+		}
+	}
+	if len(dirtyIdx) == 0 {
+		return im.version, nil
+	}
+	// Gap-fill dirty chunks that lack full local content.
+	for _, ci := range dirtyIdx {
+		if im.fullyMirrored(ci) {
+			continue
+		}
+		if st := im.chunks[ci]; st.DirtyLo == 0 && st.DirtyHi == im.chunkLen(ci) {
+			// Entirely dirty: nothing to fill.
+			im.chunks[ci].MirLo, im.chunks[ci].MirHi = 0, im.chunkLen(ci)
+			continue
+		}
+		if err := im.fetchChunks(ctx, ci, ci+1); err != nil {
+			return 0, err
+		}
+	}
+	// Reading the dirty content back from the local mirror (page cache
+	// makes this cheap; charge the disk for the cold fraction).
+	cs := int64(im.info.ChunkSize)
+	writes := make([]blob.ChunkWrite, 0, len(dirtyIdx))
+	for _, ci := range dirtyIdx {
+		clen := im.chunkLen(ci)
+		var payload blob.Payload
+		if im.local != nil {
+			cstart := ci * cs
+			data := make([]byte, clen)
+			copy(data, im.local[cstart:cstart+int64(clen)])
+			payload = blob.RealPayload(data)
+		} else {
+			payload = blob.SyntheticPayload(clen, uint64(im.blobID)<<32|uint64(im.version)+1)
+		}
+		writes = append(writes, blob.ChunkWrite{Index: ci, Payload: payload})
+		im.stats.CommittedBytes += int64(clen)
+	}
+	v, err := im.mod.client.WriteChunks(ctx, im.blobID, im.version, writes)
+	if err != nil {
+		return 0, err
+	}
+	im.version = v
+	im.stats.Commits++
+	im.stats.CommittedChunks += int64(len(writes))
+	for _, ci := range dirtyIdx {
+		im.chunks[ci].DirtyLo, im.chunks[ci].DirtyHi = 0, 0
+	}
+	return v, nil
+}
+
+// ctxDiskWriteAsync charges an asynchronous local write, skipping
+// no-ops.
+func ctxDiskWriteAsync(ctx *cluster.Ctx, node cluster.NodeID, n int64) {
+	if n > 0 {
+		ctx.DiskWriteAsync(node, n)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

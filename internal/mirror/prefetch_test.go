@@ -1,0 +1,119 @@
+package mirror
+
+import (
+	"testing"
+
+	"blobvfs/internal/cluster"
+)
+
+// TestAccessOrderRecordsDemandFetches: the access profile lists the
+// chunks fetched on demand in first-touch order.
+func TestAccessOrderRecordsDemandFetches(t *testing.T) {
+	rig := newRig(t, 2, 64<<10, 8<<10)
+	rig.run(t, func(ctx *cluster.Ctx) {
+		im := rig.open(t, ctx, 0)
+		// Touch chunks 5, 1, 3 in that order.
+		for _, ci := range []int64{5, 1, 3} {
+			if _, err := im.ReadAt(ctx, make([]byte, 16), ci*8<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		order := im.AccessOrder()
+		want := []int64{5, 1, 3}
+		if len(order) != 3 {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order = %v, want %v", order, want)
+			}
+		}
+	})
+}
+
+// TestPrefetchEliminatesDemandFetches: replaying a profile on a fresh
+// mirror of the same image makes the subsequent identical access
+// sequence fully local.
+func TestPrefetchEliminatesDemandFetches(t *testing.T) {
+	rig := newRig(t, 3, 64<<10, 8<<10)
+	var profile []int64
+	rig.run(t, func(ctx *cluster.Ctx) {
+		first := rig.open(t, ctx, 0)
+		for _, ci := range []int64{0, 2, 4, 6} {
+			if _, err := first.ReadAt(ctx, make([]byte, 100), ci*8<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		profile = first.AccessOrder()
+
+		// Second deployment of the same image on another node, with the
+		// profile prefetched before the boot replays the same accesses.
+		done := ctx.Go("second", 1, func(cc *cluster.Ctx) {
+			im, err := rig.modules[1].Open(cc, rig.imageID, rig.imageV, true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := im.Prefetch(cc, profile); err != nil {
+				t.Error(err)
+				return
+			}
+			st := im.Stats()
+			if st.PrefetchedChunks != 4 {
+				t.Errorf("prefetched %d chunks, want 4", st.PrefetchedChunks)
+			}
+			for _, ci := range []int64{0, 2, 4, 6} {
+				if _, err := im.ReadAt(cc, make([]byte, 100), ci*8<<10); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			st = im.Stats()
+			if st.RemoteChunkFetches != st.PrefetchedChunks {
+				t.Errorf("boot still fetched %d chunks on demand after prefetch",
+					st.RemoteChunkFetches-st.PrefetchedChunks)
+			}
+			if len(im.AccessOrder()) != 0 {
+				t.Errorf("prefetch polluted the access profile: %v", im.AccessOrder())
+			}
+		})
+		ctx.Wait(done)
+	})
+}
+
+// TestPrefetchPreservesDirtyData: prefetching a chunk with local
+// modifications must not clobber them.
+func TestPrefetchPreservesDirtyData(t *testing.T) {
+	rig := newRig(t, 2, 32<<10, 8<<10)
+	rig.run(t, func(ctx *cluster.Ctx) {
+		im := rig.open(t, ctx, 0)
+		if _, err := im.WriteAt(ctx, []byte("dirty"), 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := im.Prefetch(ctx, []int64{0, 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 5)
+		if _, err := im.ReadAt(ctx, got, 100); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "dirty" {
+			t.Fatalf("prefetch clobbered dirty data: %q", got)
+		}
+	})
+}
+
+// TestPrefetchValidation covers error paths.
+func TestPrefetchValidation(t *testing.T) {
+	rig := newRig(t, 2, 16<<10, 8<<10)
+	rig.run(t, func(ctx *cluster.Ctx) {
+		im := rig.open(t, ctx, 0)
+		if err := im.Prefetch(ctx, []int64{99}); err == nil {
+			t.Error("out-of-range prefetch accepted")
+		}
+		im.Close(ctx)
+		if err := im.Prefetch(ctx, []int64{0}); err == nil {
+			t.Error("prefetch on closed image accepted")
+		}
+	})
+}

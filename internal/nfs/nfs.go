@@ -1,0 +1,83 @@
+// Package nfs models the centralized repository of the prepropagation
+// baseline (§5.2): a single file server with one disk and one NIC,
+// from which initial VM images are broadcast. It deliberately has no
+// striping and no versioning — that is the point of the baseline.
+package nfs
+
+import (
+	"fmt"
+	"sync"
+
+	"blobvfs/internal/cluster"
+)
+
+// Server is a central file server on one node.
+type Server struct {
+	node cluster.NodeID
+
+	mu    sync.Mutex
+	files map[string]*file
+}
+
+type file struct {
+	size int64
+	data []byte // nil for synthetic files
+}
+
+// NewServer creates a server hosted on the given node.
+func NewServer(node cluster.NodeID) *Server {
+	return &Server{node: node, files: make(map[string]*file)}
+}
+
+// Node returns the hosting node.
+func (s *Server) Node() cluster.NodeID { return s.node }
+
+// Put stores a file. A nil data slice with a positive size creates a
+// synthetic file (costed but carrying no bytes). Storing charges the
+// server's disk.
+func (s *Server) Put(ctx *cluster.Ctx, name string, size int64, data []byte) error {
+	if data != nil && int64(len(data)) != size {
+		return fmt.Errorf("nfs: data length %d != declared size %d", len(data), size)
+	}
+	ctx.RPC(s.node, size+64, 16)
+	ctx.DiskWrite(s.node, size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[name] = &file{size: size, data: data}
+	return nil
+}
+
+// Size returns a file's size, charging a small metadata RPC.
+func (s *Server) Size(ctx *cluster.Ctx, name string) (int64, error) {
+	ctx.RPC(s.node, 32, 16)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return 0, fmt.Errorf("nfs: file %q not found", name)
+	}
+	return f.size, nil
+}
+
+// ReadAt serves [off, off+n) of a file into p (nil for cost-only).
+// The server's single disk and NIC are the shared bottleneck.
+func (s *Server) ReadAt(ctx *cluster.Ctx, name string, p []byte, off, n int64) error {
+	s.mu.Lock()
+	f, ok := s.files[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("nfs: file %q not found", name)
+	}
+	if off < 0 || n < 0 || off+n > f.size {
+		return fmt.Errorf("nfs: read [%d,%d) outside %q of size %d", off, off+n, name, f.size)
+	}
+	if p != nil && f.data == nil {
+		return fmt.Errorf("nfs: data read on synthetic file %q", name)
+	}
+	ctx.DiskRead(s.node, n)
+	ctx.RPC(s.node, 32, n)
+	if p != nil {
+		copy(p[:n], f.data[off:off+n])
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package nfs
+
+import (
+	"bytes"
+	"testing"
+
+	"blobvfs/internal/cluster"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	fab := cluster.NewLive(3)
+	s := NewServer(0)
+	fab.Run(func(ctx *cluster.Ctx) {
+		data := bytes.Repeat([]byte{0x5A}, 4096)
+		if err := s.Put(ctx, "img", 4096, data); err != nil {
+			t.Fatal(err)
+		}
+		size, err := s.Size(ctx, "img")
+		if err != nil || size != 4096 {
+			t.Fatalf("Size = %d,%v; want 4096", size, err)
+		}
+		got := make([]byte, 1000)
+		if err := s.ReadAt(ctx, "img", got, 100, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[100:1100]) {
+			t.Fatal("read data mismatch")
+		}
+	})
+}
+
+func TestErrors(t *testing.T) {
+	fab := cluster.NewLive(2)
+	s := NewServer(1)
+	fab.Run(func(ctx *cluster.Ctx) {
+		if err := s.Put(ctx, "bad", 10, []byte{1, 2}); err == nil {
+			t.Error("size/data mismatch accepted")
+		}
+		if _, err := s.Size(ctx, "missing"); err == nil {
+			t.Error("Size of missing file succeeded")
+		}
+		if err := s.ReadAt(ctx, "missing", nil, 0, 1); err == nil {
+			t.Error("read of missing file succeeded")
+		}
+		if err := s.Put(ctx, "syn", 1000, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadAt(ctx, "syn", make([]byte, 10), 0, 10); err == nil {
+			t.Error("data read of synthetic file succeeded")
+		}
+		if err := s.ReadAt(ctx, "syn", nil, 990, 20); err == nil {
+			t.Error("read past end succeeded")
+		}
+		if err := s.ReadAt(ctx, "syn", nil, 0, 1000); err != nil {
+			t.Errorf("cost-only read failed: %v", err)
+		}
+	})
+}
+
+func TestCentralServerIsBottleneck(t *testing.T) {
+	// N concurrent full reads share the server's disk and uplink:
+	// completion must scale ~linearly with N (the pathology that
+	// motivates striping in the paper).
+	run := func(n int) float64 {
+		fab := cluster.NewSim(cluster.DefaultConfig(n + 1))
+		s := NewServer(0)
+		var last float64
+		fab.Run(func(ctx *cluster.Ctx) {
+			if err := s.Put(ctx, "img", 50<<20, nil); err != nil {
+				t.Fatal(err)
+			}
+			start := ctx.Now()
+			var tasks []cluster.Task
+			for i := 1; i <= n; i++ {
+				node := cluster.NodeID(i)
+				tasks = append(tasks, ctx.Go("reader", node, func(cc *cluster.Ctx) {
+					if err := s.ReadAt(cc, "img", nil, 0, 50<<20); err != nil {
+						t.Error(err)
+					}
+					if d := cc.Now() - start; d > last {
+						last = d
+					}
+				}))
+			}
+			ctx.WaitAll(tasks)
+		})
+		return last
+	}
+	t2, t8 := run(2), run(8)
+	if t8 < 3*t2 {
+		t.Fatalf("t(8)=%v vs t(2)=%v: central server did not bottleneck", t8, t2)
+	}
+}

@@ -1,0 +1,181 @@
+package pvfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"blobvfs/internal/cluster"
+)
+
+func servers(n int) []cluster.NodeID {
+	out := make([]cluster.NodeID, n)
+	for i := range out {
+		out[i] = cluster.NodeID(i)
+	}
+	return out
+}
+
+func TestCreateOpenReadWrite(t *testing.T) {
+	fab := cluster.NewLive(4)
+	fs := New(servers(4), 64<<10)
+	fab.Run(func(ctx *cluster.Ctx) {
+		f, err := fs.Create(ctx, "img", 1<<20, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{7}, 300<<10)
+		if err := f.WriteAt(ctx, data, 100<<10, int64(len(data))); err != nil {
+			t.Fatal(err)
+		}
+		g, err := fs.Open(ctx, "img")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if err := g.ReadAt(ctx, got, 100<<10, int64(len(data))); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("read != written")
+		}
+	})
+}
+
+func TestErrors(t *testing.T) {
+	fab := cluster.NewLive(2)
+	fs := New(servers(2), 4<<10)
+	fab.Run(func(ctx *cluster.Ctx) {
+		if _, err := fs.Open(ctx, "missing"); err == nil {
+			t.Error("open of missing file succeeded")
+		}
+		f, _ := fs.Create(ctx, "a", 1000, true)
+		if _, err := fs.Create(ctx, "a", 1000, true); err == nil {
+			t.Error("duplicate create succeeded")
+		}
+		if err := f.ReadAt(ctx, make([]byte, 10), 995, 10); err == nil {
+			t.Error("read past end succeeded")
+		}
+		if err := f.WriteAt(ctx, nil, -1, 5); err == nil {
+			t.Error("negative offset succeeded")
+		}
+		if err := f.ReadAt(ctx, make([]byte, 4), 0, 10); err == nil {
+			t.Error("short buffer accepted")
+		}
+		syn, _ := fs.Create(ctx, "s", 1000, false)
+		if err := syn.ReadAt(ctx, make([]byte, 10), 0, 10); err == nil {
+			t.Error("data read on synthetic file succeeded")
+		}
+		if err := syn.ReadAt(ctx, nil, 0, 10); err != nil {
+			t.Errorf("cost-only read failed: %v", err)
+		}
+	})
+}
+
+func TestStripingDistributesLoad(t *testing.T) {
+	// Reading a full file must touch every server roughly evenly: with
+	// 16 KiB stripes (above the fabric's small-payload cutoff, so each
+	// response occupies the flow network), 64 stripes over 4 servers =
+	// 16 responses of 16 KiB from each server's uplink.
+	fab := cluster.NewSim(cluster.DefaultConfig(5))
+	fs := New(servers(4), 16<<10)
+	fab.Run(func(ctx *cluster.Ctx) {
+		// Read from node 4, which is not a server, so every stripe
+		// request crosses the network.
+		done := ctx.Go("reader", 4, func(cc *cluster.Ctx) {
+			f, err := fs.Create(cc, "img", 1<<20, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := f.ReadAt(cc, nil, 0, 1<<20); err != nil {
+				t.Error(err)
+			}
+		})
+		ctx.Wait(done)
+	})
+	// All four server uplinks must have carried ~256 KiB of payload.
+	for i := 0; i < 4; i++ {
+		carried := fab.Uplink(cluster.NodeID(i)).TotalBytes
+		if carried < 250<<10 || carried > 270<<10 {
+			t.Fatalf("server %d uplink carried %.0f bytes, want ~262144 (even striping)", i, carried)
+		}
+	}
+}
+
+func TestSmallReadsPayPerRequest(t *testing.T) {
+	// The baseline property the paper leans on: k scattered small reads
+	// cost k round trips (no prefetch). Verify via virtual time.
+	cfg := cluster.DefaultConfig(3)
+	fab := cluster.NewSim(cfg)
+	fs := New(servers(2), 256<<10)
+	var elapsed float64
+	const k = 100
+	fab.Run(func(ctx *cluster.Ctx) {
+		f, _ := fs.Create(ctx, "img", 64<<20, false)
+		start := ctx.Now()
+		for i := 0; i < k; i++ {
+			// 4 KiB reads scattered one per stripe.
+			if err := f.ReadAt(ctx, nil, int64(i)*256<<10, 4<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		elapsed = ctx.Now() - start
+	})
+	perReq := cfg.RTT + cfg.ReqOverhead
+	if elapsed < float64(k)*perReq {
+		t.Fatalf("elapsed %v < %v: scattered reads did not pay per-request cost", elapsed, float64(k)*perReq)
+	}
+}
+
+func TestReadMatchesReferenceUnderRandomOps(t *testing.T) {
+	type op struct {
+		Off, Len uint16
+		Write    bool
+		Seed     byte
+	}
+	const size = 32 << 10
+	f := func(ops []op, stripePow uint8) bool {
+		stripe := 1 << (stripePow%5 + 9) // 512..8192
+		fab := cluster.NewLive(3)
+		fs := New(servers(3), stripe)
+		ok := true
+		fab.Run(func(ctx *cluster.Ctx) {
+			file, err := fs.Create(ctx, "f", size, true)
+			if err != nil {
+				ok = false
+				return
+			}
+			model := make([]byte, size)
+			for _, o := range ops {
+				off := int64(o.Off) % size
+				l := int64(o.Len)%5000 + 1
+				if off+l > size {
+					l = size - off
+				}
+				if o.Write {
+					data := bytes.Repeat([]byte{o.Seed | 1}, int(l))
+					if err := file.WriteAt(ctx, data, off, l); err != nil {
+						ok = false
+						return
+					}
+					copy(model[off:off+l], data)
+				} else {
+					got := make([]byte, l)
+					if err := file.ReadAt(ctx, got, off, l); err != nil {
+						ok = false
+						return
+					}
+					if !bytes.Equal(got, model[off:off+l]) {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

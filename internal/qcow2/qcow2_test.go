@@ -1,0 +1,221 @@
+package qcow2
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"blobvfs/internal/cluster"
+)
+
+// memBacking is a trivial in-memory backing file that counts accesses.
+type memBacking struct {
+	data  []byte
+	reads int64
+	bytes int64
+}
+
+func (m *memBacking) ReadAt(_ *cluster.Ctx, p []byte, off, n int64) error {
+	m.reads++
+	m.bytes += n
+	if p != nil {
+		copy(p[:n], m.data[off:off+n])
+	}
+	return nil
+}
+
+func (m *memBacking) Size() int64 { return int64(len(m.data)) }
+
+func baseImage(size int) *memBacking {
+	d := make([]byte, size)
+	for i := range d {
+		d[i] = byte(i*31 + 5)
+	}
+	return &memBacking{data: d}
+}
+
+func TestReadThroughExactRange(t *testing.T) {
+	fab := cluster.NewLive(1)
+	back := baseImage(1 << 20)
+	fab.Run(func(ctx *cluster.Ctx) {
+		img, err := Create(0, back, 64<<10, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 100)
+		if _, err := 0, img.ReadAt(ctx, got, 5000, 100); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, back.data[5000:5100]) {
+			t.Fatal("read-through data wrong")
+		}
+		// Exactly the requested bytes came from the backing store — no
+		// prefetch (the defining difference from the mirror module).
+		if back.bytes != 100 {
+			t.Fatalf("backing bytes = %d, want 100 (no prefetch)", back.bytes)
+		}
+		// Reading again goes remote again: no copy-on-read.
+		if _, err := 0, img.ReadAt(ctx, got, 5000, 100); err != nil {
+			t.Fatal(err)
+		}
+		if back.reads != 2 {
+			t.Fatalf("backing reads = %d, want 2 (no copy-on-read)", back.reads)
+		}
+	})
+}
+
+func TestCopyOnWriteFillsWholeCluster(t *testing.T) {
+	fab := cluster.NewLive(1)
+	back := baseImage(1 << 20)
+	fab.Run(func(ctx *cluster.Ctx) {
+		img, _ := Create(0, back, 64<<10, true)
+		// Small write into cluster 3.
+		if err := img.WriteAt(ctx, []byte{1, 2, 3}, 3*64<<10+100, 3); err != nil {
+			t.Fatal(err)
+		}
+		st := img.Stats()
+		if st.CoWFills != 1 {
+			t.Fatalf("CoW fills = %d, want 1", st.CoWFills)
+		}
+		if back.bytes != 64<<10 {
+			t.Fatalf("backing bytes = %d, want full cluster %d", back.bytes, 64<<10)
+		}
+		// Read around the write: cluster content = base except the patch.
+		got := make([]byte, 64<<10)
+		if err := img.ReadAt(ctx, got, 3*64<<10, 64<<10); err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), back.data[3*64<<10:4*64<<10]...)
+		copy(want[100:], []byte{1, 2, 3})
+		if !bytes.Equal(got, want) {
+			t.Fatal("CoW cluster content wrong")
+		}
+		// The read was served locally: no new backing traffic.
+		if back.reads != 1 {
+			t.Fatalf("backing reads = %d, want 1 (allocated cluster reads are local)", back.reads)
+		}
+	})
+}
+
+func TestFullClusterWriteSkipsCoWFill(t *testing.T) {
+	fab := cluster.NewLive(1)
+	back := baseImage(1 << 20)
+	fab.Run(func(ctx *cluster.Ctx) {
+		img, _ := Create(0, back, 64<<10, true)
+		if err := img.WriteAt(ctx, bytes.Repeat([]byte{9}, 64<<10), 0, 64<<10); err != nil {
+			t.Fatal(err)
+		}
+		if img.Stats().CoWFills != 0 {
+			t.Fatal("aligned full-cluster write triggered CoW fill")
+		}
+		if back.reads != 0 {
+			t.Fatal("aligned full-cluster write read the backing store")
+		}
+	})
+}
+
+func TestFileBytesGrowsWithAllocation(t *testing.T) {
+	fab := cluster.NewLive(1)
+	back := baseImage(4 << 20)
+	fab.Run(func(ctx *cluster.Ctx) {
+		img, _ := Create(0, back, 64<<10, false)
+		empty := img.FileBytes()
+		// Dirty 15 MB worth? image only 4 MB; dirty 30 clusters.
+		for i := 0; i < 30; i++ {
+			if err := img.Write(ctx, int64(i)*64<<10, 1024); err != nil {
+				t.Fatal(err)
+			}
+		}
+		grown := img.FileBytes()
+		wantMin := empty + 30*64<<10
+		if grown < wantMin {
+			t.Fatalf("FileBytes = %d after 30 allocations, want >= %d", grown, wantMin)
+		}
+		st := img.Stats()
+		if st.AllocatedClusters != 30 {
+			t.Fatalf("allocated = %d, want 30", st.AllocatedClusters)
+		}
+		if st.L2TablesAllocated != 1 {
+			t.Fatalf("L2 tables = %d, want 1", st.L2TablesAllocated)
+		}
+	})
+}
+
+func TestValidation(t *testing.T) {
+	fab := cluster.NewLive(1)
+	back := baseImage(1 << 20)
+	if _, err := Create(0, back, 1000, true); err == nil {
+		t.Error("non-512-multiple cluster size accepted")
+	}
+	fab.Run(func(ctx *cluster.Ctx) {
+		img, _ := Create(0, back, 64<<10, false)
+		if err := img.Read(ctx, 1<<20-10, 100); err == nil {
+			t.Error("read past end accepted")
+		}
+		if err := img.ReadAt(ctx, make([]byte, 10), 0, 10); err == nil {
+			t.Error("data read on synthetic image accepted")
+		}
+	})
+}
+
+// TestMatchesFlatModel: random read/write sequences against the qcow2
+// image must match a flat file initialized from the backing content.
+func TestMatchesFlatModel(t *testing.T) {
+	type op struct {
+		Off, Len uint16
+		Write    bool
+		Seed     byte
+	}
+	const size = 48 << 10
+	f := func(ops []op, csPow uint8) bool {
+		clusterSize := 512 << (csPow % 5) // 512..8192
+		fab := cluster.NewLive(1)
+		back := baseImage(size)
+		ok := true
+		fab.Run(func(ctx *cluster.Ctx) {
+			img, err := Create(0, back, clusterSize, true)
+			if err != nil {
+				ok = false
+				return
+			}
+			model := append([]byte(nil), back.data...)
+			for _, o := range ops {
+				off := int64(o.Off) % size
+				l := int64(o.Len)%7000 + 1
+				if off+l > size {
+					l = size - off
+				}
+				if o.Write {
+					data := bytes.Repeat([]byte{o.Seed | 1}, int(l))
+					if err := img.WriteAt(ctx, data, off, l); err != nil {
+						ok = false
+						return
+					}
+					copy(model[off:off+l], data)
+				} else {
+					got := make([]byte, l)
+					if err := img.ReadAt(ctx, got, off, l); err != nil {
+						ok = false
+						return
+					}
+					if !bytes.Equal(got, model[off:off+l]) {
+						ok = false
+						return
+					}
+				}
+			}
+			got := make([]byte, size)
+			if err := img.ReadAt(ctx, got, 0, size); err != nil {
+				ok = false
+				return
+			}
+			if !bytes.Equal(got, model) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulation engine.
+//
+// The engine drives a virtual clock over a priority queue of events.
+// Simulation logic is written as ordinary sequential Go code inside
+// processes (see Proc): a process sleeps, waits on conditions, acquires
+// resources and performs work on shared bandwidth pools, all in virtual
+// time. Exactly one process runs at any instant — the scheduler hands
+// control to a process and waits for it to park again — so simulation
+// state never needs locking and runs are reproducible bit-for-bit.
+//
+// The package is the substrate on which the cluster, storage and
+// experiment layers of this repository are built; it deliberately knows
+// nothing about any of them.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"time"
+)
+
+// debugSlowEvents enables wall-clock timing of every event dispatch;
+// events slower than 20ms real time are reported on stderr. Controlled
+// by the BLOBVFS_SIM_DEBUG environment variable.
+var debugSlowEvents = os.Getenv("BLOBVFS_SIM_DEBUG") != ""
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; create environments with New.
+type Env struct {
+	now    float64
+	seq    int64
+	steps  int64
+	events eventHeap
+	parked chan struct{}
+	procs  int // number of live (started, not finished) processes
+}
+
+// New returns an empty environment with the clock at zero.
+func New() *Env {
+	return &Env{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// Procs returns the number of processes that have been started and have
+// not yet returned. A nonzero value after Run drains the event queue
+// indicates processes blocked forever (usually a modeling bug).
+func (e *Env) Procs() int { return e.procs }
+
+// Pending returns the number of events currently queued.
+func (e *Env) Pending() int { return len(e.events) }
+
+// Steps returns the total number of events executed so far; useful for
+// diagnosing event storms.
+func (e *Env) Steps() int64 { return e.steps }
+
+// PendingTimes returns the scheduled times of up to max queued events,
+// unordered; a diagnostic aid.
+func (e *Env) PendingTimes(max int) []float64 {
+	out := make([]float64, 0, max)
+	for _, ev := range e.events {
+		if len(out) == max {
+			break
+		}
+		out = append(out, ev.t)
+	}
+	return out
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (e *Env) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Env) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (e *Env) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.events, ev.index)
+}
+
+// Run executes events until the queue drains.
+func (e *Env) Run() { e.RunUntil(-1) }
+
+// RunUntil executes events with time ≤ limit (limit < 0 means no limit)
+// and stops when the queue drains or every remaining event lies beyond
+// the limit. The clock is left at the last executed event's time, or at
+// limit if that is later.
+func (e *Env) RunUntil(limit float64) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if limit >= 0 && next.t > limit {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.t
+		e.steps++
+		if debugSlowEvents {
+			start := time.Now()
+			next.fn()
+			if d := time.Since(start); d > 20*time.Millisecond {
+				fmt.Fprintf(os.Stderr, "sim: SLOW event t=%v seq=%d took %v\n", next.t, next.seq, d)
+			}
+		} else {
+			next.fn()
+		}
+	}
+	if limit >= 0 && e.now < limit {
+		e.now = limit
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback in the simulation. Events are ordered by
+// (time, sequence number): ties in virtual time are broken by scheduling
+// order, which makes every run fully deterministic.
+type Event struct {
+	t        float64
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap index; -1 once popped or canceled
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) Time() float64 { return ev.t }
+
+// Canceled reports whether the event has been canceled.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// eventHeap is a min-heap of events keyed by (t, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,289 @@
+// Package flownet provides a flow-level network model with max-min fair
+// bandwidth allocation, built on the sim engine.
+//
+// A Link is a capacity constraint (a NIC direction, a switch port, a
+// shared uplink). A transfer is a Flow that traverses one or more links
+// and carries a fixed number of bytes. Whenever a flow starts or ends,
+// rates are recomputed with progressive filling (water-filling): the
+// most contended link is saturated first, its flows are frozen at the
+// fair share, and the process repeats on the residual network. This is
+// the standard fluid approximation of TCP fairness, and is what gives
+// the cluster model realistic congestion behaviour under boot storms
+// and snapshot storms without simulating packets.
+//
+// All internal iteration is over insertion-ordered slices, never maps,
+// so simulations are bit-for-bit reproducible.
+package flownet
+
+import (
+	"fmt"
+	"math"
+
+	"blobvfs/internal/sim"
+)
+
+// Link is a capacity constraint in bytes per second. Create links with
+// Net.NewLink so they receive deterministic identities.
+type Link struct {
+	id       int
+	name     string
+	capacity float64
+
+	// scratch state used during recompute
+	residual   float64
+	unassigned int
+	mark       int // generation marker for the link-collection pass
+
+	// TotalBytes accumulates all bytes ever carried by this link.
+	TotalBytes float64
+}
+
+// Name returns the diagnostic name of the link.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link's capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Flow is an in-flight transfer.
+type Flow struct {
+	links     []*Link
+	remaining float64
+	rate      float64
+	assigned  bool
+	done      sim.Cond
+	finished  bool
+}
+
+// Rate returns the flow's current allocated rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Finished reports whether the flow has completed.
+func (f *Flow) Finished() bool { return f.finished }
+
+// Net manages the active flow set and completion scheduling.
+type Net struct {
+	env    *sim.Env
+	flows  []*Flow // insertion order; order preserved on removal
+	last   float64
+	timer  *sim.Event
+	nextID int
+	gen    int
+
+	// Completed counts finished flows; TotalBytes counts bytes accepted.
+	Completed  int64
+	TotalBytes float64
+}
+
+// New returns an empty flow network on env.
+func New(env *sim.Env) *Net {
+	return &Net{env: env}
+}
+
+// NewLink creates a link with the given capacity in bytes per second.
+func (n *Net) NewLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("flownet: link %q capacity must be positive", name))
+	}
+	l := &Link{id: n.nextID, name: name, capacity: capacity}
+	n.nextID++
+	return l
+}
+
+// Active returns the number of in-flight flows.
+func (n *Net) Active() int { return len(n.flows) }
+
+// Transfer moves bytes across the given links, blocking p until the
+// flow completes under max-min fair sharing with all concurrent flows.
+// A transfer with no links or zero bytes returns immediately.
+func (n *Net) Transfer(p *sim.Proc, bytes float64, links ...*Link) {
+	f := n.Start(bytes, links...)
+	if f == nil {
+		return
+	}
+	n.WaitFlow(p, f)
+}
+
+// Start begins an asynchronous transfer and returns its Flow handle, or
+// nil if there is nothing to do. Use WaitFlow to join it.
+func (n *Net) Start(bytes float64, links ...*Link) *Flow {
+	if bytes <= 0 || len(links) == 0 {
+		return nil
+	}
+	n.advance()
+	f := &Flow{links: links, remaining: bytes}
+	n.flows = append(n.flows, f)
+	for _, l := range links {
+		l.TotalBytes += bytes
+	}
+	n.TotalBytes += bytes
+	n.recompute()
+	n.reschedule()
+	return f
+}
+
+// WaitFlow blocks p until f completes. Waiting on a nil or finished
+// flow returns immediately.
+func (n *Net) WaitFlow(p *sim.Proc, f *Flow) {
+	if f == nil || f.finished {
+		return
+	}
+	f.done.Wait(p)
+}
+
+// advance credits elapsed time to every active flow at its current rate.
+func (n *Net) advance() {
+	now := n.env.Now()
+	dt := now - n.last
+	n.last = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// recompute performs progressive filling over the active flows.
+func (n *Net) recompute() {
+	if len(n.flows) == 0 {
+		return
+	}
+	// Collect the distinct links touched by active flows, in first-use
+	// order, using a generation marker to avoid allocation of a set.
+	n.gen++
+	var links []*Link
+	for _, f := range n.flows {
+		f.assigned = false
+		f.rate = 0
+		for _, l := range f.links {
+			if l.mark != n.gen {
+				l.mark = n.gen
+				l.residual = l.capacity
+				l.unassigned = 0
+				links = append(links, l)
+			}
+		}
+	}
+	for _, f := range n.flows {
+		for _, l := range f.links {
+			l.unassigned++
+		}
+	}
+	unassigned := len(n.flows)
+	for unassigned > 0 {
+		// Find the bottleneck: the link offering the smallest fair share.
+		// Ties resolve to the earliest-created link; max-min allocations
+		// are unique, so tie order only affects intermediate state.
+		var bottleneck *Link
+		share := math.Inf(1)
+		for _, l := range links {
+			if l.unassigned == 0 {
+				continue
+			}
+			s := l.residual / float64(l.unassigned)
+			if s < share || (s == share && bottleneck != nil && l.id < bottleneck.id) {
+				share = s
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break // cannot happen: every flow traverses at least one link
+		}
+		// Freeze every unassigned flow crossing the bottleneck at the
+		// fair share and charge it along each of the flow's links.
+		for _, f := range n.flows {
+			if f.assigned {
+				continue
+			}
+			crosses := false
+			for _, l := range f.links {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = share
+			f.assigned = true
+			unassigned--
+			for _, l := range f.links {
+				l.residual -= share
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.unassigned--
+			}
+		}
+	}
+}
+
+// reschedule rearms the completion timer for the earliest-finishing
+// flow. The completion instant is forced strictly past the current
+// time: a residual small enough that now+dt rounds back to now (dt
+// below the clock's ULP) would otherwise rearm a zero-progress timer
+// forever.
+func (n *Net) reschedule() {
+	if n.timer != nil {
+		n.env.Cancel(n.timer)
+		n.timer = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	target := n.env.Now() + next
+	if target <= n.env.Now() {
+		target = math.Nextafter(n.env.Now(), math.Inf(1))
+	}
+	n.timer = n.env.At(target, n.complete)
+}
+
+// complete settles progress, finishes any drained flows, and rearms.
+func (n *Net) complete() {
+	n.timer = nil
+	n.advance()
+	const eps = 0.5 // bytes; sub-byte residue is float noise
+	kept := n.flows[:0]
+	var finished []*Flow
+	for _, f := range n.flows {
+		if f.remaining <= eps {
+			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(n.flows); i++ {
+		n.flows[i] = nil
+	}
+	n.flows = kept
+	for _, f := range finished {
+		f.finished = true
+		f.remaining = 0
+		n.Completed++
+		f.done.Broadcast(n.env)
+	}
+	if len(finished) > 0 {
+		n.recompute()
+	}
+	n.reschedule()
+}

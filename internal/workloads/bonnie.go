@@ -1,0 +1,98 @@
+// Package workloads provides the application-level workloads of the
+// paper's evaluation: a Bonnie++-style local I/O benchmark (§5.4) and
+// the Monte Carlo π estimation application (§5.5).
+package workloads
+
+import "blobvfs/internal/localio"
+
+// BonnieConfig mirrors the setup of §5.4: 800 MB written, read back
+// and overwritten in 8 KB blocks, plus seek/create/delete phases.
+type BonnieConfig struct {
+	TotalBytes int64
+	BlockSize  int64
+	Seeks      int
+	Files      int
+}
+
+// DefaultBonnieConfig returns the paper's parameters.
+func DefaultBonnieConfig() BonnieConfig {
+	return BonnieConfig{
+		TotalBytes: 800 << 20,
+		BlockSize:  8 << 10,
+		Seeks:      8000,
+		Files:      16384,
+	}
+}
+
+// BonnieResult reports sustained rates the way Bonnie++ does.
+type BonnieResult struct {
+	BlockWriteKBps int64 // sequential block writes
+	BlockReadKBps  int64 // sequential block reads of written data
+	BlockRewrKBps  int64 // block overwrite (read-modify-write)
+	SeeksPerSec    int64
+	CreatesPerSec  int64
+	DeletesPerSec  int64
+}
+
+// RunBonnie drives the benchmark against a local I/O path model and
+// returns the sustained rates.
+func RunBonnie(p *localio.Path, cfg BonnieConfig) BonnieResult {
+	blocks := cfg.TotalBytes / cfg.BlockSize
+	rate := func(bytes int64, secs float64) int64 {
+		if secs <= 0 {
+			return 0
+		}
+		return int64(float64(bytes) / secs / 1024)
+	}
+	ops := func(n int, secs float64) int64 {
+		if secs <= 0 {
+			return 0
+		}
+		return int64(float64(n) / secs)
+	}
+
+	p.Reset()
+	for i := int64(0); i < blocks; i++ {
+		p.WriteBlock(cfg.BlockSize)
+	}
+	wSecs := p.Now()
+
+	p.Reset()
+	for i := int64(0); i < blocks; i++ {
+		p.ReadBlock(cfg.BlockSize)
+	}
+	rSecs := p.Now()
+
+	p.Reset()
+	for i := int64(0); i < blocks; i++ {
+		p.OverwriteBlock(cfg.BlockSize)
+	}
+	oSecs := p.Now()
+
+	p.Reset()
+	for i := 0; i < cfg.Seeks; i++ {
+		p.Seek()
+	}
+	sSecs := p.Now()
+
+	p.Reset()
+	for i := 0; i < cfg.Files; i++ {
+		p.CreateFile()
+	}
+	cSecs := p.Now()
+
+	p.Reset()
+	for i := 0; i < cfg.Files; i++ {
+		p.DeleteFile()
+	}
+	dSecs := p.Now()
+
+	return BonnieResult{
+		BlockWriteKBps: rate(cfg.TotalBytes, wSecs),
+		BlockReadKBps:  rate(cfg.TotalBytes, rSecs),
+		BlockRewrKBps:  rate(cfg.TotalBytes, oSecs),
+		SeeksPerSec:    ops(cfg.Seeks, sSecs),
+		CreatesPerSec:  ops(cfg.Files, cSecs),
+		DeletesPerSec:  ops(cfg.Files, dSecs),
+	}
+}
