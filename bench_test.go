@@ -155,6 +155,40 @@ func BenchmarkFig8MonteCarlo(b *testing.B) {
 	b.ReportMetric(s[experiments.OurApproach], "resume-ours-s")
 }
 
+// BenchmarkFlashCrowd256 runs the flash-crowd scenario at the
+// acceptance scale: 256 instances of the same image deployed
+// concurrently against an 8-node provider pool, with the p2p
+// chunk-sharing layer off and on. The headline metrics are where the
+// chunk traffic landed — total provider reads, the hottest provider's
+// reads (the hot-spot), and peer-served reads — plus the deployment
+// completion time. With sharing enabled, per-provider traffic must be
+// strictly lower: provider load stops scaling with the crowd.
+func BenchmarkFlashCrowd256(b *testing.B) {
+	for _, sharing := range []bool{false, true} {
+		sharing := sharing
+		name := "sharing-off"
+		if sharing {
+			name = "sharing-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := experiments.Quick()
+			var pt experiments.FlashCrowdPoint
+			for i := 0; i < b.N; i++ {
+				pt = experiments.RunFlashCrowd(p, experiments.FlashCrowdConfig{
+					Instances: 256,
+					Providers: 8,
+					Sharing:   sharing,
+				})
+			}
+			b.ReportMetric(float64(pt.ProviderReads), "provider-reads")
+			b.ReportMetric(float64(pt.MaxProviderReads), "hottest-provider-reads")
+			b.ReportMetric(float64(pt.PeerReads), "peer-reads")
+			b.ReportMetric(pt.Completion, "completion-s")
+			b.ReportMetric(pt.TrafficGB*1e3, "traffic-MB")
+		})
+	}
+}
+
 // BenchmarkCommitDataStructures measures the in-memory cost of the
 // COMMIT primitive itself (no simulation): shadowing a 2 GB image's
 // segment tree (8192 chunks) with a 60-chunk diff on a live fabric —

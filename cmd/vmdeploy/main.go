@@ -29,9 +29,9 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down parameters (fast; shapes only)")
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	sweepArg := flag.String("sweep", "", "comma-separated instance counts (default 1,10,30,50,70,90,110)")
-	instances := flag.Int("instances", 0, "instance count for fig8 (default 100, or 16 with -quick)")
+	instances := flag.Int("instances", 0, "instance count for fig8/flash (defaults 100/256, or 16/64 with -quick)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,16 +43,19 @@ func main() {
 
 	p := experiments.Default()
 	fig8N := 100
+	flashN := 256
 	if *quick {
 		p = experiments.Quick()
 		p.MaxInstances = 24
 		fig8N = 16
+		flashN = 64
 	}
 	if *seed != 0 {
 		p.Seed = *seed
 	}
 	if *instances > 0 {
 		fig8N = *instances
+		flashN = *instances
 	}
 	sweep := experiments.DefaultSweep()
 	if *quick {
@@ -88,6 +91,11 @@ func main() {
 	fig8 := func() []*metrics.Table {
 		return []*metrics.Table{experiments.RunFig8(p, fig8N).Table()}
 	}
+	flash := func() []*metrics.Table {
+		off := experiments.RunFlashCrowd(p, experiments.FlashCrowdConfig{Instances: flashN})
+		on := experiments.RunFlashCrowd(p, experiments.FlashCrowdConfig{Instances: flashN, Sharing: true})
+		return []*metrics.Table{experiments.FlashCrowdTable([]experiments.FlashCrowdPoint{off, on})}
+	}
 	ablations := func() []*metrics.Table {
 		n := 16
 		if !*quick {
@@ -107,6 +115,8 @@ func main() {
 		run("fig6/7", fig67)
 	case "fig8":
 		run("fig8", fig8)
+	case "flash":
+		run("flash", flash)
 	case "ablations":
 		run("ablations", ablations)
 	case "all":
@@ -114,6 +124,7 @@ func main() {
 		run("fig5", fig5)
 		run("fig6/7", fig67)
 		run("fig8", fig8)
+		run("flash", flash)
 		run("ablations", ablations)
 	default:
 		flag.Usage()

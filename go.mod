@@ -1,0 +1,3 @@
+module blobvfs
+
+go 1.24

@@ -37,7 +37,8 @@ const clientParallel = 16
 // invalidation protocol; this is what makes metadata overhead drop
 // sharply after first access, as in the real system.
 type Client struct {
-	sys *System
+	sys    *System
+	sharer ChunkSharer // optional p2p chunk source (see sharing.go)
 
 	mu    sync.Mutex
 	nodes map[NodeRef]TreeNode
@@ -131,12 +132,20 @@ type ChunkWrite struct {
 // next version in total order. base is the version whose unmodified
 // content the snapshot shares; base 0 builds over an empty tree.
 func (c *Client) WriteChunks(ctx *cluster.Ctx, id ID, base Version, writes []ChunkWrite) (Version, error) {
+	v, _, err := c.WriteChunksKeyed(ctx, id, base, writes)
+	return v, err
+}
+
+// WriteChunksKeyed is WriteChunks, additionally reporting the provider
+// key allocated for each written chunk index. The mirroring module
+// uses the keys to retract-track the chunks it announces at COMMIT.
+func (c *Client) WriteChunksKeyed(ctx *cluster.Ctx, id ID, base Version, writes []ChunkWrite) (Version, map[int64]ChunkKey, error) {
 	if len(writes) == 0 {
-		return 0, fmt.Errorf("blob: WriteChunks with no chunks")
+		return 0, nil, fmt.Errorf("blob: WriteChunks with no chunks")
 	}
 	inf, err := c.Info(ctx, id)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	sorted := make([]ChunkWrite, len(writes))
 	copy(sorted, writes)
@@ -144,13 +153,13 @@ func (c *Client) WriteChunks(ctx *cluster.Ctx, id ID, base Version, writes []Chu
 	nchunks := inf.Chunks()
 	for i, w := range sorted {
 		if w.Index < 0 || w.Index >= nchunks {
-			return 0, fmt.Errorf("blob: chunk index %d outside blob of %d chunks", w.Index, nchunks)
+			return 0, nil, fmt.Errorf("blob: chunk index %d outside blob of %d chunks", w.Index, nchunks)
 		}
 		if i > 0 && sorted[i-1].Index == w.Index {
-			return 0, fmt.Errorf("blob: duplicate chunk index %d in write set", w.Index)
+			return 0, nil, fmt.Errorf("blob: duplicate chunk index %d in write set", w.Index)
 		}
 		if int(w.Payload.Size) > inf.ChunkSize {
-			return 0, fmt.Errorf("blob: payload of %d bytes exceeds chunk size %d", w.Payload.Size, inf.ChunkSize)
+			return 0, nil, fmt.Errorf("blob: payload of %d bytes exceeds chunk size %d", w.Payload.Size, inf.ChunkSize)
 		}
 	}
 
@@ -166,31 +175,40 @@ func (c *Client) WriteChunks(ctx *cluster.Ctx, id ID, base Version, writes []Chu
 		putErrs[i] = c.sys.Providers.Put(cc, keys[i], sorted[i].Payload)
 	})
 	if err := firstError(putErrs); err != nil {
-		return 0, err
+		return 0, nil, err
+	}
+	keyOf := make(map[int64]ChunkKey, len(sorted))
+	for i := range sorted {
+		keyOf[sorted[i].Index] = keys[i]
+	}
+	// The writer holds the full content of every chunk it just pushed,
+	// so it can serve siblings as an alternate source from now on.
+	if c.sharer != nil {
+		c.sharer.Announce(ctx, keys)
 	}
 
 	// Phase 2: ticket, shadowed metadata, publication.
 	ticket, err := c.sys.VM.Ticket(ctx, id)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	var oldRoot NodeRef
 	if base > 0 {
 		oldRoot, err = c.sys.VM.Root(ctx, id, base)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	root, created, err := BuildVersion(boundGetter{c, ctx}, oldRoot, inf.Span, dirty, c.sys.Meta.AllocRef)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	c.sys.Meta.PutBatch(ctx, created)
 	c.cacheNew(created)
 	if err := c.sys.VM.Publish(ctx, id, ticket, root); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return ticket, nil
+	return ticket, keyOf, nil
 }
 
 // Clone duplicates snapshot (id, v) as a new blob that shares all
@@ -234,8 +252,10 @@ type FetchedChunk struct {
 }
 
 // FetchChunks retrieves the chunks covering indices [lo,hi) of (id,v),
-// fetching distinct chunks in parallel from their providers. This is
-// the primitive the mirroring module's remote reads are built on.
+// fetching distinct chunks in parallel. Each chunk comes from a cohort
+// peer when the client has a ChunkSharer and a peer holds it, and from
+// its home providers otherwise. This is the primitive the mirroring
+// module's remote reads are built on.
 func (c *Client) FetchChunks(ctx *cluster.Ctx, id ID, v Version, lo, hi int64) ([]FetchedChunk, error) {
 	inf, err := c.Info(ctx, id)
 	if err != nil {
@@ -272,7 +292,7 @@ func (c *Client) FetchChunks(ctx *cluster.Ctx, id ID, v Version, lo, hi int64) (
 	fetchErrs := make([]error, len(fetchIdx))
 	c.forEachParallel(ctx, "get-chunk", len(fetchIdx), func(cc *cluster.Ctx, j int) {
 		i := fetchIdx[j]
-		p, err := c.sys.Providers.Get(cc, out[i].Key)
+		p, err := c.getChunk(cc, out[i].Key)
 		fetchErrs[j] = err
 		out[i].Payload = p
 	})

@@ -32,6 +32,7 @@ type ProviderSet struct {
 	refs    map[ChunkKey]int64  // reference counts under dedup
 	aliases map[ChunkKey]ChunkKey
 	alive   map[cluster.NodeID]bool
+	readsBy map[cluster.NodeID]int64 // chunk reads served, per provider
 
 	// Reads and Writes count chunk-level operations; DedupHits counts
 	// Puts absorbed by an existing identical chunk.
@@ -59,6 +60,7 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 		refs:     make(map[ChunkKey]int64),
 		aliases:  make(map[ChunkKey]ChunkKey),
 		alive:    alive,
+		readsBy:  make(map[cluster.NodeID]int64),
 	}
 }
 
@@ -201,7 +203,49 @@ func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 	ctx.DiskRead(prov, int64(p.Size))
 	ctx.RPC(prov, 32, int64(p.Size))
 	ps.Reads.Add(1)
+	ps.mu.Lock()
+	ps.readsBy[prov]++
+	ps.mu.Unlock()
 	return p, nil
+}
+
+// Peek returns the stored payload for key (resolving dedup aliases)
+// without charging any provider cost. This is the escape hatch the p2p
+// sharing layer uses to serve a chunk from a peer's local mirror: the
+// payload bytes are authoritative, only the costs move to the peer.
+func (ps *ProviderSet) Peek(key ChunkKey) (Payload, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if canon, ok := ps.aliases[key]; ok {
+		key = canon
+	}
+	p, ok := ps.chunks[key]
+	return p, ok
+}
+
+// NodeReads returns a copy of the per-provider chunk-read counters —
+// the distribution whose maximum is the hot-spot a flash crowd builds.
+func (ps *ProviderSet) NodeReads() map[cluster.NodeID]int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make(map[cluster.NodeID]int64, len(ps.readsBy))
+	for n, r := range ps.readsBy {
+		out[n] = r
+	}
+	return out
+}
+
+// MaxNodeReads returns the chunk reads served by the busiest provider.
+func (ps *ProviderSet) MaxNodeReads() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	var max int64
+	for _, r := range ps.readsBy {
+		if r > max {
+			max = r
+		}
+	}
+	return max
 }
 
 // ChunkCount returns the number of distinct chunks stored.

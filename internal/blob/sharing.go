@@ -1,0 +1,61 @@
+package blob
+
+import "blobvfs/internal/cluster"
+
+// ChunkSharer is the hook the peer-to-peer chunk-sharing layer
+// (internal/p2p) plugs into the client's data path. A client with a
+// sharer consults it before every provider read: if a cohort peer
+// already mirrors the chunk, the transfer is served from that peer's
+// local disk instead of the chunk's home provider, so provider load
+// stops scaling with the number of concurrent readers of a hot image.
+//
+// The interface lives here (and not in internal/p2p) so the storage
+// client stays free of a dependency on the sharing layer; p2p.Cohort
+// is the production implementation.
+type ChunkSharer interface {
+	// Locate returns a peer node currently holding the chunk that is
+	// willing to serve it, or ok=false to fall back to the providers.
+	// The caller must invoke release once the transfer is finished so
+	// the peer's upload slot is freed. The requesting node (ctx.Node())
+	// is never returned as its own peer.
+	Locate(ctx *cluster.Ctx, key ChunkKey) (peer cluster.NodeID, release func(), ok bool)
+	// Announce registers ctx.Node() as a holder of the given chunks.
+	// Implementations must deduplicate (node, key) pairs so that a
+	// chunk announced twice — e.g. once by a prefetch and once by a
+	// concurrent demand fetch — is only counted and charged once.
+	Announce(ctx *cluster.Ctx, keys []ChunkKey)
+	// Retract withdraws ctx.Node() as a holder of the chunks (the
+	// local copies diverged from the published content, e.g. mirrored
+	// chunks were dirtied by a guest write). Like Announce, one call
+	// covers a batch; unknown pairs are ignored.
+	Retract(ctx *cluster.Ctx, keys []ChunkKey)
+}
+
+// SetSharer attaches a peer-to-peer chunk sharer to the client. Reads
+// then prefer cohort peers over providers, and WriteChunks announces
+// freshly written chunks (the writer holds their full content
+// locally). A nil sharer restores provider-only reads.
+func (c *Client) SetSharer(s ChunkSharer) { c.sharer = s }
+
+// getChunk fetches one chunk payload, preferring a cohort peer over
+// the chunk's home providers. The payload itself always comes from the
+// authoritative store (peers mirror published content verbatim); what
+// the peer path changes is where the disk read and the transfer are
+// charged — and therefore where the load lands.
+func (c *Client) getChunk(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
+	if c.sharer != nil {
+		if peer, release, ok := c.sharer.Locate(ctx, key); ok {
+			if p, found := c.sys.Providers.Peek(key); found {
+				ctx.DiskRead(peer, int64(p.Size))
+				ctx.RPC(peer, 32, int64(p.Size))
+				release()
+				return p, nil
+			}
+			// The tracker knew a holder but the store has no such
+			// chunk (e.g. racing with garbage collection): release the
+			// slot and fall back to the providers' error path.
+			release()
+		}
+	}
+	return c.sys.Providers.Get(ctx, key)
+}

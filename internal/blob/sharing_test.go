@@ -1,0 +1,143 @@
+package blob
+
+import (
+	"sync"
+	"testing"
+
+	"blobvfs/internal/cluster"
+)
+
+// fakeSharer scripts the peer-selection policy for client tests: it
+// serves the configured keys from a fixed peer and records calls.
+type fakeSharer struct {
+	peer cluster.NodeID
+
+	mu        sync.Mutex
+	has       map[ChunkKey]bool
+	locates   int
+	served    int
+	released  int
+	announced []ChunkKey
+}
+
+func (f *fakeSharer) Locate(ctx *cluster.Ctx, key ChunkKey) (cluster.NodeID, func(), bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.locates++
+	if !f.has[key] {
+		return 0, nil, false
+	}
+	f.served++
+	return f.peer, func() {
+		f.mu.Lock()
+		f.released++
+		f.mu.Unlock()
+	}, true
+}
+
+func (f *fakeSharer) Announce(ctx *cluster.Ctx, keys []ChunkKey) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.announced = append(f.announced, keys...)
+}
+
+func (f *fakeSharer) Retract(ctx *cluster.Ctx, keys []ChunkKey) {}
+
+// newShareRig uploads a 4-chunk blob and returns a reader client with
+// the sharer attached.
+func newShareRig(t *testing.T, s ChunkSharer) (*cluster.Live, *System, *Client, ID, Version) {
+	t.Helper()
+	fab := cluster.NewLive(4)
+	sys := NewSystem([]cluster.NodeID{0, 1, 2, 3}, 0, 1)
+	var id ID
+	var v Version
+	fab.Run(func(ctx *cluster.Ctx) {
+		w := NewClient(sys)
+		var err error
+		id, err = w.Create(ctx, 32<<10, 8<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err = w.WriteFull(ctx, id, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	c := NewClient(sys)
+	c.SetSharer(s)
+	return fab, sys, c, id, v
+}
+
+// TestFetchFallsBackToProvidersWithoutPeer: when the sharer has no
+// holder for any chunk, every read is served by the providers, exactly
+// as with no sharer at all.
+func TestFetchFallsBackToProvidersWithoutPeer(t *testing.T) {
+	s := &fakeSharer{peer: 2, has: map[ChunkKey]bool{}}
+	fab, sys, c, id, v := newShareRig(t, s)
+	fab.Run(func(ctx *cluster.Ctx) {
+		fetched, err := c.FetchChunks(ctx, id, v, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fetched) != 4 {
+			t.Fatalf("fetched %d chunks, want 4", len(fetched))
+		}
+	})
+	if got := sys.Providers.Reads.Load(); got != 4 {
+		t.Errorf("provider reads = %d, want 4 (full fallback)", got)
+	}
+	if s.locates != 4 || s.served != 0 {
+		t.Errorf("sharer saw %d locates, served %d; want 4 and 0", s.locates, s.served)
+	}
+}
+
+// TestFetchPrefersPeerAndReleasesSlot: chunks a peer holds are served
+// by the peer (no provider read), and the upload slot is released.
+func TestFetchPrefersPeerAndReleasesSlot(t *testing.T) {
+	s := &fakeSharer{peer: 2, has: map[ChunkKey]bool{}}
+	fab, sys, c, id, v := newShareRig(t, s)
+	// Mark every stored chunk as peer-held.
+	var keys []ChunkKey
+	fab.Run(func(ctx *cluster.Ctx) {
+		probe := NewClient(sys)
+		fetched, err := probe.FetchChunks(ctx, id, v, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fc := range fetched {
+			keys = append(keys, fc.Key)
+			s.has[fc.Key] = true
+		}
+	})
+	before := sys.Providers.Reads.Load()
+	fab.Run(func(ctx *cluster.Ctx) {
+		if _, err := c.FetchChunks(ctx, id, v, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := sys.Providers.Reads.Load() - before; got != 0 {
+		t.Errorf("provider reads = %d, want 0 (all peer-served)", got)
+	}
+	if s.served != 4 || s.released != 4 {
+		t.Errorf("served %d, released %d; want 4 and 4", s.served, s.released)
+	}
+}
+
+// TestWriteChunksAnnouncesWrittenKeys: a writer with a sharer offers
+// the chunks it just pushed (it holds their full content locally).
+func TestWriteChunksAnnouncesWrittenKeys(t *testing.T) {
+	s := &fakeSharer{peer: 1, has: map[ChunkKey]bool{}}
+	fab, _, c, id, v := newShareRig(t, s)
+	fab.Run(func(ctx *cluster.Ctx) {
+		_, err := c.WriteChunks(ctx, id, v, []ChunkWrite{
+			{Index: 1, Payload: SyntheticPayload(8<<10, 9)},
+			{Index: 3, Payload: SyntheticPayload(8<<10, 9)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(s.announced) != 2 {
+		t.Errorf("announced %d keys, want 2", len(s.announced))
+	}
+}

@@ -46,26 +46,11 @@ func Binomial(ctx *cluster.Ctx, src cluster.NodeID, targets []cluster.NodeID, by
 
 	simFab, _ := ctx.Fabric().(*cluster.Sim)
 
-	// children(i) in a binomial tree over ranks 0..n-1: rank 0 feeds
-	// 1, 2, 4, ...; rank i>0 (first reached at round floor(log2 i)+1)
-	// feeds i+2^j for j starting above i's highest set bit.
-	childRanks := func(i int) []int {
-		var out []int
-		jmin := 0
-		if i > 0 {
-			jmin = bits.Len(uint(i)) // highest set bit position + 1
-		}
-		for j := jmin; i+(1<<j) < n; j++ {
-			out = append(out, i+(1<<j))
-		}
-		return out
-	}
-
 	resCh := make(chan Result, len(targets))
 	var forward func(cc *cluster.Ctx, rank int)
 	forward = func(cc *cluster.Ctx, rank int) {
 		var tasks []cluster.Task
-		for _, cr := range childRanks(rank) {
+		for _, cr := range childRanks(rank, n) {
 			child := order[cr]
 			// Store-and-forward hop: transfer (throttled), then persist.
 			if simFab != nil && effRate > 0 {
@@ -90,6 +75,51 @@ func Binomial(ctx *cluster.Ctx, src cluster.NodeID, targets []cluster.NodeID, by
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Node < results[j].Node })
 	return results
+}
+
+// childRanks returns the children of rank i in a binomial tree over
+// ranks 0..n-1: rank 0 feeds 1, 2, 4, ...; rank i>0 (first reached at
+// round floor(log2 i)+1) feeds i+2^j for j starting above i's highest
+// set bit.
+func childRanks(i, n int) []int {
+	var out []int
+	jmin := 0
+	if i > 0 {
+		jmin = bits.Len(uint(i)) // highest set bit position + 1
+	}
+	for j := jmin; i+(1<<j) < n; j++ {
+		out = append(out, i+(1<<j))
+	}
+	return out
+}
+
+// Control disseminates a small control message of the given size from
+// src to every target along the same binomial tree as Binomial. Unlike
+// the bulk broadcast there is no store-and-forward persistence: each
+// hop is a plain RPC, so the whole dissemination costs O(log n) RPC
+// latencies of depth. This is the primitive the p2p chunk-sharing
+// layer piggybacks its cohort-membership and chunk-location digests
+// on. It returns once every target has received the message.
+func Control(ctx *cluster.Ctx, src cluster.NodeID, targets []cluster.NodeID, bytes int64) {
+	order := append([]cluster.NodeID{src}, targets...)
+	n := len(order)
+	if n == 1 || bytes <= 0 {
+		return
+	}
+	var forward func(cc *cluster.Ctx, rank int)
+	forward = func(cc *cluster.Ctx, rank int) {
+		var tasks []cluster.Task
+		for _, cr := range childRanks(rank, n) {
+			child := order[cr]
+			cc.RPC(child, bytes, 16)
+			cr := cr
+			tasks = append(tasks, cc.Go("ctl-recv", child, func(childCtx *cluster.Ctx) {
+				forward(childCtx, cr)
+			}))
+		}
+		cc.WaitAll(tasks)
+	}
+	forward(ctx, 0)
 }
 
 // Completion returns the latest completion time among results (0 for

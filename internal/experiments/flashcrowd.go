@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/metrics"
+	"blobvfs/internal/middleware"
+	"blobvfs/internal/p2p"
+	"blobvfs/internal/sim"
+	"blobvfs/internal/vmmodel"
+)
+
+// This file implements the flash-crowd scenario §7 of the paper points
+// at: a very large number of instances of the same image deployed
+// concurrently against a storage pool much smaller than the
+// deployment. Unlike the Fig. 4 setup — where the storage service
+// aggregates every compute node's disk, so provider capacity grows
+// with the sweep — the flash crowd keeps a small dedicated provider
+// pool (the "registry", as in oc-mirror's mirror-to-disk flow), so
+// every demand fetch of a hot boot chunk lands on the same few nodes
+// and the per-provider load scales linearly with the crowd. The
+// peer-to-peer sharing layer (internal/p2p) is the pressure relief:
+// with it enabled, provider reads per chunk drop to the first few
+// fetches that seed the cohort.
+
+// FlashCrowdConfig parameterizes one flash-crowd run.
+type FlashCrowdConfig struct {
+	// Instances is the deployment fan-out (the crowd size).
+	Instances int
+	// Providers is the dedicated provider pool size (default 8).
+	Providers int
+	// Sharing toggles the p2p chunk-sharing layer.
+	Sharing bool
+	// P2P carries the sharing protocol constants (zero value →
+	// p2p.DefaultConfig).
+	P2P p2p.Config
+}
+
+// FlashCrowdPoint reports one flash-crowd run.
+type FlashCrowdPoint struct {
+	Instances int
+	Providers int
+	Sharing   bool
+
+	AvgBoot    float64 // mean per-instance boot time (s)
+	Completion float64 // deploy start → last instance booted (s)
+	TrafficGB  float64 // total network traffic (GB)
+
+	ProviderReads    int64 // chunk reads served by the provider pool
+	MaxProviderReads int64 // ... by its hottest member (the hot-spot)
+	PeerReads        int64 // chunk reads served by cohort peers
+	P2P              p2p.Stats
+}
+
+// RunFlashCrowd deploys fc.Instances concurrent instances of the same
+// image over a cluster with a dedicated fc.Providers-node storage pool
+// and one service node (version manager + p2p tracker), and reports
+// where the chunk traffic landed. The image upload is excluded from
+// the measurements, as in the other experiments.
+func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
+	if fc.Instances < 1 {
+		panic("experiments: flash crowd needs at least one instance")
+	}
+	if fc.Providers <= 0 {
+		fc.Providers = 8
+	}
+	if fc.P2P == (p2p.Config{}) {
+		fc.P2P = p2p.DefaultConfig()
+	}
+
+	cfg := cluster.DefaultConfig(fc.Instances + fc.Providers + 1)
+	if p.WriteBuffer > 0 {
+		cfg.WriteBuffer = p.WriteBuffer
+	}
+	fab := cluster.NewSim(cfg)
+	var instNodes, provNodes []cluster.NodeID
+	for i := 0; i < fc.Instances; i++ {
+		instNodes = append(instNodes, cluster.NodeID(i))
+	}
+	for i := 0; i < fc.Providers; i++ {
+		provNodes = append(provNodes, cluster.NodeID(fc.Instances+i))
+	}
+	service := cluster.NodeID(fc.Instances + fc.Providers)
+
+	var backend *middleware.MirrorBackend
+	sys := blob.NewSystem(provNodes, service, p.Replicas)
+	fab.Run(func(ctx *cluster.Ctx) {
+		c := blob.NewClient(sys)
+		id, err := c.Create(ctx, p.ImageSize, p.ChunkSize)
+		if err != nil {
+			panic(err)
+		}
+		v, err := c.WriteFull(ctx, id, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		backend = middleware.NewMirrorBackend(sys, id, v)
+		if fc.Sharing {
+			backend.Sharing = p2p.NewRegistry(service, fc.P2P)
+		}
+	})
+	fab.ResetTraffic()
+
+	baseOps := p.baseTrace()
+	traceRNG := sim.NewRNG(p.Seed + 1)
+	jitRNG := sim.NewRNG(p.Seed + 2)
+	orch := &middleware.Orchestrator{
+		Backend: backend,
+		Nodes:   instNodes,
+		TraceFor: func(i int) []vmmodel.TraceOp {
+			return vmmodel.WithThinkJitter(baseOps, traceRNG.Fork(), p.Boot.TotalThink)
+		},
+		StartJitter: func(i int) float64 {
+			return jitRNG.Uniform(p.JitterMin, p.JitterMax)
+		},
+	}
+
+	var dep *middleware.DeployResult
+	fab.Run(func(ctx *cluster.Ctx) {
+		var err error
+		dep, err = orch.Deploy(ctx)
+		if err != nil {
+			panic(err)
+		}
+	})
+
+	pt := FlashCrowdPoint{
+		Instances:  fc.Instances,
+		Providers:  fc.Providers,
+		Sharing:    fc.Sharing,
+		AvgBoot:    metrics.Summarize(dep.BootTimes()).Mean,
+		Completion: dep.Completion,
+		TrafficGB:  float64(fab.NetTraffic()) / 1e9,
+	}
+	pt.ProviderReads = sys.Providers.Reads.Load()
+	pt.MaxProviderReads = sys.Providers.MaxNodeReads()
+	if co := backend.Cohort(); co != nil {
+		pt.P2P = co.Stats()
+		pt.PeerReads = pt.P2P.PeerHits
+	}
+	return pt
+}
+
+// FlashCrowdTable renders a sharing-off/sharing-on comparison.
+func FlashCrowdTable(points []FlashCrowdPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title: "Flash crowd: concurrent multideployment against a small provider pool",
+		Columns: []string{
+			"instances", "providers", "p2p sharing", "completion (s)",
+			"provider reads", "hottest provider", "peer reads",
+		},
+	}
+	for _, pt := range points {
+		sharing := "off"
+		if pt.Sharing {
+			sharing = "on"
+		}
+		t.AddRow(
+			itoa(pt.Instances),
+			itoa(pt.Providers),
+			sharing,
+			ftoa(pt.Completion),
+			fmt.Sprintf("%d", pt.ProviderReads),
+			fmt.Sprintf("%d", pt.MaxProviderReads),
+			fmt.Sprintf("%d", pt.PeerReads),
+		)
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+// TestFlashCrowdSharingKillsProviderHotSpot: with a provider pool much
+// smaller than the crowd, enabling p2p sharing must strictly reduce
+// both the total provider load and the hottest provider's load, with
+// the difference served by cohort peers.
+func TestFlashCrowdSharingKillsProviderHotSpot(t *testing.T) {
+	p := Quick()
+	fc := FlashCrowdConfig{Instances: 48, Providers: 4}
+	off := RunFlashCrowd(p, fc)
+	fc.Sharing = true
+	on := RunFlashCrowd(p, fc)
+
+	if off.PeerReads != 0 {
+		t.Errorf("sharing off but %d peer reads", off.PeerReads)
+	}
+	if on.PeerReads == 0 {
+		t.Error("sharing on but no chunk was served by a peer")
+	}
+	if on.ProviderReads >= off.ProviderReads {
+		t.Errorf("provider reads did not drop: %d with sharing vs %d without",
+			on.ProviderReads, off.ProviderReads)
+	}
+	if on.MaxProviderReads >= off.MaxProviderReads {
+		t.Errorf("hottest provider did not cool down: %d with sharing vs %d without",
+			on.MaxProviderReads, off.MaxProviderReads)
+	}
+	// Every demand fetch is served exactly once, by a provider or a peer.
+	if got, want := on.ProviderReads+on.PeerReads, off.ProviderReads; got != want {
+		t.Errorf("reads not conserved: %d provider + %d peer = %d, want %d",
+			on.ProviderReads, on.PeerReads, got, want)
+	}
+	// Relieving the provider bottleneck must not slow the deployment.
+	if on.Completion > off.Completion*1.05 {
+		t.Errorf("sharing slowed completion: %.2fs vs %.2fs", on.Completion, off.Completion)
+	}
+}
+
+// TestFlashCrowd256 runs the acceptance-scale point: 256 concurrent
+// deployments against an 8-provider pool. Per-provider chunk traffic
+// must be strictly lower with sharing enabled.
+func TestFlashCrowd256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-instance flash crowd skipped in -short mode")
+	}
+	p := Quick()
+	fc := FlashCrowdConfig{Instances: 256, Providers: 8}
+	off := RunFlashCrowd(p, fc)
+	fc.Sharing = true
+	on := RunFlashCrowd(p, fc)
+
+	if on.MaxProviderReads >= off.MaxProviderReads {
+		t.Errorf("hottest provider at 256 instances: %d with sharing, %d without",
+			on.MaxProviderReads, off.MaxProviderReads)
+	}
+	if on.ProviderReads >= off.ProviderReads {
+		t.Errorf("provider reads at 256 instances: %d with sharing, %d without",
+			on.ProviderReads, off.ProviderReads)
+	}
+	if on.Completion > off.Completion {
+		t.Errorf("sharing slowed the 256-instance crowd: %.2fs vs %.2fs",
+			on.Completion, off.Completion)
+	}
+}
+
+// TestFlashCrowdDeterministic: the scenario is bit-for-bit repeatable,
+// p2p layer included.
+func TestFlashCrowdDeterministic(t *testing.T) {
+	p := Quick()
+	fc := FlashCrowdConfig{Instances: 16, Providers: 4, Sharing: true}
+	a := RunFlashCrowd(p, fc)
+	b := RunFlashCrowd(p, fc)
+	if a != b {
+		t.Errorf("flash crowd not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/mirror"
 	"blobvfs/internal/nfs"
+	"blobvfs/internal/p2p"
 	"blobvfs/internal/pvfs"
 	"blobvfs/internal/qcow2"
 	"blobvfs/internal/vmmodel"
@@ -48,8 +49,15 @@ type MirrorBackend struct {
 	ImageV  blob.Version
 	Cfg     mirror.Config
 
+	// Sharing, when set, enables peer-to-peer chunk sharing: Prepare
+	// registers the deployment's nodes as a cohort for the image, and
+	// every module provisioned afterwards announces the chunks it
+	// mirrors and fetches from cohort peers before the providers.
+	Sharing *p2p.Registry
+
 	mu      sync.Mutex
 	modules map[cluster.NodeID]*mirror.Module
+	cohort  *p2p.Cohort
 }
 
 // NewMirrorBackend creates the backend for a base image already
@@ -67,8 +75,26 @@ func NewMirrorBackend(sys *blob.System, id blob.ID, v blob.Version) *MirrorBacke
 // Name implements Backend.
 func (b *MirrorBackend) Name() string { return "our-approach" }
 
-// Prepare implements Backend: lazy schemes need no initialization.
-func (b *MirrorBackend) Prepare(ctx *cluster.Ctx, nodes []cluster.NodeID) error { return nil }
+// Prepare implements Backend: the lazy scheme itself needs no
+// initialization; with sharing enabled the deployment cohort is
+// registered so the nodes can serve each other's demand fetches.
+func (b *MirrorBackend) Prepare(ctx *cluster.Ctx, nodes []cluster.NodeID) error {
+	if b.Sharing != nil {
+		co := b.Sharing.Register(ctx, b.ImageID, nodes)
+		b.mu.Lock()
+		b.cohort = co
+		b.mu.Unlock()
+	}
+	return nil
+}
+
+// Cohort returns the sharing cohort registered by Prepare (nil when
+// sharing is disabled or Prepare has not run).
+func (b *MirrorBackend) Cohort() *p2p.Cohort {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cohort
+}
 
 // module returns (creating on demand) the node's mirroring module.
 // Each module gets its own blob client, hence its own metadata cache —
@@ -79,6 +105,9 @@ func (b *MirrorBackend) module(node cluster.NodeID) *mirror.Module {
 	m, ok := b.modules[node]
 	if !ok {
 		m = mirror.NewModule(node, blob.NewClient(b.Sys), b.Cfg)
+		if b.cohort != nil {
+			m.SetSharer(b.cohort)
+		}
 		b.modules[node] = m
 	}
 	return m

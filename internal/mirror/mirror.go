@@ -14,6 +14,12 @@
 //
 // The control primitives CLONE and COMMIT — ioctls in the paper — are
 // the Image.Clone and Image.Commit methods.
+//
+// When the module is attached to a peer-to-peer sharing cohort
+// (SetSharer), an image announces every chunk it mirrors — demand
+// fetch, prefetch or commit — so cohort siblings can fetch it from
+// this node instead of the providers, and retracts chunks whose local
+// copy diverges from the published content (guest writes).
 package mirror
 
 import (
@@ -45,6 +51,7 @@ type Module struct {
 	node   cluster.NodeID
 	client *blob.Client
 	cfg    Config
+	sharer blob.ChunkSharer // optional p2p cohort; set before opening images
 
 	mu     sync.Mutex
 	closed map[blob.ID]*localState // persisted local state by origin blob
@@ -82,6 +89,14 @@ func NewModule(node cluster.NodeID, client *blob.Client, cfg Config) *Module {
 // Node returns the node this module runs on.
 func (m *Module) Node() cluster.NodeID { return m.node }
 
+// SetSharer attaches the module (and its blob client) to a p2p sharing
+// cohort: subsequent image opens announce mirrored chunks and consult
+// cohort peers on demand misses. Call it before opening images.
+func (m *Module) SetSharer(s blob.ChunkSharer) {
+	m.sharer = s
+	m.client.SetSharer(s)
+}
+
 // Stats aggregates an image's access accounting.
 type Stats struct {
 	Reads, Writes      int64 // hypervisor-issued operations
@@ -93,17 +108,23 @@ type Stats struct {
 	CommittedChunks    int64
 	CommittedBytes     int64
 	PrefetchedChunks   int64 // chunks brought in by Prefetch, not demand
+	DuplicateFetches   int64 // concurrent fetches of the same chunk, counted once
 }
 
 // Image is an open mirrored image: the raw file the hypervisor sees.
-// Methods must be called from the owning activity; an Image is not
-// safe for concurrent use (a VM's virtual disk has one queue here,
-// like the paper's one-FUSE-mount-per-VM deployment).
+// Hypervisor-facing methods must be called from the owning activity (a
+// VM's virtual disk has one queue here, like the paper's
+// one-FUSE-mount-per-VM deployment), with one sanctioned exception:
+// Prefetch may run from a concurrent activity to overlap with the
+// boot. The mutable state below is therefore guarded by mu, which is
+// never held across fabric operations.
 type Image struct {
-	mod     *Module
-	blobID  blob.ID
-	version blob.Version
-	info    blob.Info
+	mod  *Module
+	info blob.Info
+
+	mu      sync.Mutex
+	blobID  blob.ID      // changes on Clone
+	version blob.Version // changes on Commit
 	chunks  []chunkState
 	local   []byte // real local mirror; nil when running synthetic
 	open    bool
@@ -112,7 +133,12 @@ type Image struct {
 	// accessOrder records the chunk indices fetched on demand, in
 	// order — the access profile of §7's proposed prefetching scheme.
 	accessOrder []int64
-	prefetching bool
+	// announced maps chunk index → the key this image announced to its
+	// sharing cohort, so a dirtying write can retract it.
+	announced map[int64]blob.ChunkKey
+	// inflight counts remote fetches currently running per chunk, so a
+	// prefetch skips chunks a demand fetch is already bringing in.
+	inflight map[int64]int
 }
 
 // Open mirrors snapshot (id, v) as a local raw image file. If the
@@ -128,7 +154,11 @@ func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (
 	if err != nil {
 		return nil, err
 	}
-	im := &Image{mod: m, blobID: id, version: v, info: inf, open: true}
+	im := &Image{
+		mod: m, blobID: id, version: v, info: inf, open: true,
+		announced: make(map[int64]blob.ChunkKey),
+		inflight:  make(map[int64]int),
+	}
 	m.mu.Lock()
 	st := m.closed[id]
 	if st != nil && st.version == v {
@@ -159,14 +189,20 @@ func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (
 // on the module, so a later Open of the same snapshot on this node
 // resumes where it left off.
 func (im *Image) Close(ctx *cluster.Ctx) {
+	im.mu.Lock()
 	if !im.open {
+		im.mu.Unlock()
 		return
 	}
 	im.open = false
+	id := im.blobID
+	st := &localState{version: im.version, chunks: im.chunks, local: im.local}
+	n := int64(len(im.chunks)) * 16
+	im.mu.Unlock()
 	// Writing the modification metadata next to the local file.
-	ctx.DiskWrite(im.mod.node, int64(len(im.chunks))*16)
+	ctx.DiskWrite(im.mod.node, n)
 	im.mod.mu.Lock()
-	im.mod.closed[im.blobID] = &localState{version: im.version, chunks: im.chunks, local: im.local}
+	im.mod.closed[id] = st
 	im.mod.mu.Unlock()
 }
 
@@ -175,17 +211,31 @@ func (im *Image) Size() int64 { return im.info.Size }
 
 // BlobID returns the blob currently backing the image (changes after
 // Clone).
-func (im *Image) BlobID() blob.ID { return im.blobID }
+func (im *Image) BlobID() blob.ID {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.blobID
+}
 
 // Version returns the snapshot the image currently mirrors (changes
 // after Commit).
-func (im *Image) Version() blob.Version { return im.version }
+func (im *Image) Version() blob.Version {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.version
+}
 
 // Stats returns a copy of the image's counters.
-func (im *Image) Stats() Stats { return im.stats }
+func (im *Image) Stats() Stats {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.stats
+}
 
 // Dirty reports whether the image has uncommitted local modifications.
 func (im *Image) Dirty() bool {
+	im.mu.Lock()
+	defer im.mu.Unlock()
 	for i := range im.chunks {
 		if im.chunks[i].dirty() {
 			return true
@@ -233,24 +283,30 @@ func (im *Image) Write(ctx *cluster.Ctx, off, n int64) error {
 // access is the R/W translator (§3.3). It validates the range, charges
 // the FUSE crossing, and dispatches per overlapped chunk.
 func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) error {
+	im.mu.Lock()
 	if !im.open {
+		im.mu.Unlock()
 		return fmt.Errorf("mirror: access on closed image")
 	}
 	if n == 0 {
+		im.mu.Unlock()
 		return nil
 	}
 	if off < 0 || off+n > im.info.Size {
+		im.mu.Unlock()
 		return fmt.Errorf("mirror: access [%d,%d) outside image size %d", off, off+n, im.info.Size)
 	}
 	if p != nil && im.local == nil {
+		im.mu.Unlock()
 		return fmt.Errorf("mirror: data access on synthetic image")
 	}
-	ctx.Sleep(im.mod.cfg.OpOverhead)
 	if write {
 		im.stats.Writes++
 	} else {
 		im.stats.Reads++
 	}
+	im.mu.Unlock()
+	ctx.Sleep(im.mod.cfg.OpOverhead)
 
 	cs := int64(im.info.ChunkSize)
 	lo, hi := off/cs, (off+n+cs-1)/cs
@@ -262,18 +318,25 @@ func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) er
 		if err := im.ensureMirrored(ctx, lo, hi); err != nil {
 			return err
 		}
+		im.mu.Lock()
 		im.stats.LocalReads++ // now served locally
 		if p != nil {
 			copy(p, im.local[off:off+n])
 		}
+		im.mu.Unlock()
 		return nil
 	}
-	// Write path: per chunk, keep the mirrored region contiguous.
+	// Write path: per chunk, keep the mirrored region contiguous. A
+	// write onto an announced chunk diverges the local copy from the
+	// published content, so the cohort announcement is retracted.
+	var retract []blob.ChunkKey
 	for ci := lo; ci < hi; ci++ {
 		cstart := ci * cs
 		wlo := int32(max64(off, cstart) - cstart)
 		whi := int32(min64(off+n, cstart+int64(im.chunkLen(ci))) - cstart)
+		im.mu.Lock()
 		st := &im.chunks[ci]
+		gapFill := false
 		switch {
 		case !st.mirrored():
 			st.MirLo, st.MirHi = wlo, whi
@@ -289,10 +352,18 @@ func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) er
 			// Strategy 2: the write would fragment the mirrored region;
 			// fill the gap by fetching the whole chunk remotely first.
 			im.stats.GapFills++
-			if err := im.fetchChunks(ctx, ci, ci+1); err != nil {
+			gapFill = true
+		}
+		im.mu.Unlock()
+		if gapFill {
+			// The chunk is dirtied right below, so don't offer it to
+			// the cohort just to retract it again.
+			if err := im.fetchChunks(ctx, ci, ci+1, fetchNoAnnounce); err != nil {
 				return err
 			}
 		}
+		im.mu.Lock()
+		st = &im.chunks[ci]
 		// Track the dirty hull (contained in the mirrored region).
 		if !st.dirty() {
 			st.DirtyLo, st.DirtyHi = wlo, whi
@@ -304,9 +375,19 @@ func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) er
 				st.DirtyHi = whi
 			}
 		}
+		if key, ok := im.announced[ci]; ok {
+			retract = append(retract, key)
+			delete(im.announced, ci)
+		}
+		im.mu.Unlock()
 	}
+	im.mu.Lock()
 	if p != nil {
 		copy(im.local[off:off+n], p)
+	}
+	im.mu.Unlock()
+	if s := im.mod.sharer; s != nil && len(retract) > 0 {
+		s.Retract(ctx, retract)
 	}
 	// The mmap'd local file absorbs the write; the kernel writes back
 	// asynchronously (§4.2).
@@ -324,7 +405,7 @@ func (im *Image) ensureMirrored(ctx *cluster.Ctx, lo, hi int64) error {
 			runStart = ci
 		}
 		if !missing && runStart >= 0 {
-			if err := im.fetchChunks(ctx, runStart, ci); err != nil {
+			if err := im.fetchChunks(ctx, runStart, ci, fetchDemand); err != nil {
 				return err
 			}
 			runStart = -1
@@ -334,24 +415,78 @@ func (im *Image) ensureMirrored(ctx *cluster.Ctx, lo, hi int64) error {
 }
 
 func (im *Image) fullyMirrored(ci int64) bool {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.fullyMirroredLocked(ci)
+}
+
+func (im *Image) fullyMirroredLocked(ci int64) bool {
 	st := im.chunks[ci]
 	return st.MirLo == 0 && st.MirHi == im.chunkLen(ci)
 }
+
+// fetchMode says on whose behalf fetchChunks runs: a demand access, a
+// Prefetch, or a write-path gap fill (which suppresses the cohort
+// announcement — the chunk is dirtied immediately after the fetch).
+type fetchMode int
+
+const (
+	fetchDemand fetchMode = iota
+	fetchPrefetch
+	fetchNoAnnounce
+)
 
 // fetchChunks fetches whole chunks [lo,hi) from the repository and
 // merges them into the local mirror, preserving dirty bytes. After the
 // merge each chunk is fully mirrored. Fetched content is persisted on
 // the local disk by the kernel's asynchronous write-back.
-func (im *Image) fetchChunks(ctx *cluster.Ctx, lo, hi int64) error {
-	fetched, err := im.mod.client.FetchChunks(ctx, im.blobID, im.version, lo, hi)
+//
+// A chunk that a concurrent fetch (demand vs. prefetch racing) already
+// merged while this one was in flight is skipped: its payload was
+// transferred twice — the wasted transfer is charged, as in reality —
+// but it is counted and announced to the sharing cohort exactly once,
+// and recorded in the access profile exactly once (by the demand side,
+// even when the prefetch's merge won the race).
+func (im *Image) fetchChunks(ctx *cluster.Ctx, lo, hi int64, mode fetchMode) error {
+	prefetch := mode == fetchPrefetch
+	sharing := im.mod.sharer != nil && mode != fetchNoAnnounce
+	im.mu.Lock()
+	id, v := im.blobID, im.version
+	for ci := lo; ci < hi; ci++ {
+		im.inflight[ci]++
+	}
+	im.mu.Unlock()
+	fetched, err := im.mod.client.FetchChunks(ctx, id, v, lo, hi)
+	im.mu.Lock()
+	for ci := lo; ci < hi; ci++ {
+		if im.inflight[ci]--; im.inflight[ci] == 0 {
+			delete(im.inflight, ci)
+		}
+	}
 	if err != nil {
+		im.mu.Unlock()
 		return err
 	}
+	type announced struct {
+		index int64
+		key   blob.ChunkKey
+	}
 	cs := int64(im.info.ChunkSize)
+	var announce []announced
 	var bytes int64
 	for _, fc := range fetched {
 		st := &im.chunks[fc.Index]
 		clen := im.chunkLen(fc.Index)
+		if st.MirLo == 0 && st.MirHi == clen {
+			// A concurrent fetch of this chunk won the merge race;
+			// count the chunk once. A demand access still belongs in
+			// the access profile even when the prefetch's merge won.
+			im.stats.DuplicateFetches++
+			if mode == fetchDemand {
+				im.accessOrder = append(im.accessOrder, fc.Index)
+			}
+			continue
+		}
 		if im.local != nil {
 			cstart := fc.Index * cs
 			dst := im.local[cstart : cstart+int64(clen)]
@@ -369,14 +504,41 @@ func (im *Image) fetchChunks(ctx *cluster.Ctx, lo, hi int64) error {
 		st.MirLo, st.MirHi = 0, clen
 		im.stats.RemoteChunkFetches++
 		im.stats.RemoteBytesFetched += int64(fc.Payload.Size)
-		if im.prefetching {
+		if prefetch {
 			im.stats.PrefetchedChunks++
 		} else {
 			im.accessOrder = append(im.accessOrder, fc.Index)
 		}
+		if sharing && fc.Key != 0 && !st.dirty() {
+			announce = append(announce, announced{fc.Index, fc.Key})
+			im.announced[fc.Index] = fc.Key
+		}
 		bytes += int64(fc.Payload.Size)
 	}
+	im.mu.Unlock()
 	ctxDiskWriteAsync(ctx, im.mod.node, bytes)
+	if len(announce) > 0 {
+		keys := make([]blob.ChunkKey, len(announce))
+		for i, a := range announce {
+			keys[i] = a.key
+		}
+		im.mod.sharer.Announce(ctx, keys)
+		// A write may have dirtied one of these chunks between the
+		// merge above and the announcement reaching the cohort: its
+		// Retract found nothing to withdraw yet and deleted the
+		// announced entry, so re-check and retract those now.
+		im.mu.Lock()
+		var late []blob.ChunkKey
+		for _, a := range announce {
+			if im.announced[a.index] != a.key {
+				late = append(late, a.key)
+			}
+		}
+		im.mu.Unlock()
+		if len(late) > 0 {
+			im.mod.sharer.Retract(ctx, late)
+		}
+	}
 	return nil
 }
 
@@ -385,6 +547,8 @@ func (im *Image) fetchChunks(ctx *cluster.Ctx, lo, hi int64) error {
 // of the same image (§7's "prefetching scheme based on previous
 // experience with the access pattern").
 func (im *Image) AccessOrder() []int64 {
+	im.mu.Lock()
+	defer im.mu.Unlock()
 	return append([]int64(nil), im.accessOrder...)
 }
 
@@ -394,21 +558,28 @@ func (im *Image) AccessOrder() []int64 {
 // activity to overlap with the boot, or beforehand for a warm start.
 // Chunks fetched here are counted as PrefetchedChunks, not demand
 // fetches, and do not pollute the image's own access profile.
+//
+// Chunks the boot is concurrently demand-fetching (in flight at the
+// time Prefetch considers them) are skipped, and a lost merge race is
+// resolved by fetchChunks, so no chunk is ever double-counted or
+// double-announced.
 func (im *Image) Prefetch(ctx *cluster.Ctx, profile []int64) error {
-	if !im.open {
-		return fmt.Errorf("mirror: prefetch on closed image")
-	}
 	for _, ci := range profile {
+		im.mu.Lock()
+		if !im.open {
+			im.mu.Unlock()
+			return fmt.Errorf("mirror: prefetch on closed image")
+		}
 		if ci < 0 || ci >= int64(len(im.chunks)) {
+			im.mu.Unlock()
 			return fmt.Errorf("mirror: prefetch chunk %d outside image", ci)
 		}
-		if im.fullyMirrored(ci) {
+		skip := im.fullyMirroredLocked(ci) || im.inflight[ci] > 0
+		im.mu.Unlock()
+		if skip {
 			continue
 		}
-		im.prefetching = true
-		err := im.fetchChunks(ctx, ci, ci+1)
-		im.prefetching = false
-		if err != nil {
+		if err := im.fetchChunks(ctx, ci, ci+1, fetchPrefetch); err != nil {
 			return err
 		}
 	}
@@ -420,16 +591,22 @@ func (im *Image) Prefetch(ctx *cluster.Ctx, profile []int64) error {
 // mirrored regions and dirty data — is untouched; only the identity of
 // the remote object changes, at O(1) metadata cost (Fig. 3(b)).
 func (im *Image) Clone(ctx *cluster.Ctx) error {
+	im.mu.Lock()
 	if !im.open {
+		im.mu.Unlock()
 		return fmt.Errorf("mirror: clone on closed image")
 	}
-	clone, err := im.mod.client.Clone(ctx, im.blobID, im.version)
+	id, v := im.blobID, im.version
+	im.mu.Unlock()
+	clone, err := im.mod.client.Clone(ctx, id, v)
 	if err != nil {
 		return err
 	}
+	im.mu.Lock()
 	im.blobID = clone
 	im.version = 1
 	im.stats.Clones++
+	im.mu.Unlock()
 	return nil
 }
 
@@ -438,31 +615,41 @@ func (im *Image) Clone(ctx *cluster.Ctx) error {
 // Dirty chunks are pushed whole (chunk-granular copy-on-write); a dirty
 // chunk that is not fully mirrored is gap-filled first so its complete
 // content exists locally. With no local modifications Commit returns
-// the current version unchanged.
+// the current version unchanged. When the module shares with a cohort,
+// the committed chunks are announced by the write path: after COMMIT
+// the local copy equals the published snapshot.
 func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
+	im.mu.Lock()
 	if !im.open {
+		im.mu.Unlock()
 		return 0, fmt.Errorf("mirror: commit on closed image")
 	}
+	id, base := im.blobID, im.version
 	var dirtyIdx []int64
 	for ci := range im.chunks {
 		if im.chunks[ci].dirty() {
 			dirtyIdx = append(dirtyIdx, int64(ci))
 		}
 	}
+	im.mu.Unlock()
 	if len(dirtyIdx) == 0 {
-		return im.version, nil
+		return base, nil
 	}
 	// Gap-fill dirty chunks that lack full local content.
 	for _, ci := range dirtyIdx {
-		if im.fullyMirrored(ci) {
+		im.mu.Lock()
+		if im.fullyMirroredLocked(ci) {
+			im.mu.Unlock()
 			continue
 		}
 		if st := im.chunks[ci]; st.DirtyLo == 0 && st.DirtyHi == im.chunkLen(ci) {
 			// Entirely dirty: nothing to fill.
 			im.chunks[ci].MirLo, im.chunks[ci].MirHi = 0, im.chunkLen(ci)
+			im.mu.Unlock()
 			continue
 		}
-		if err := im.fetchChunks(ctx, ci, ci+1); err != nil {
+		im.mu.Unlock()
+		if err := im.fetchChunks(ctx, ci, ci+1, fetchNoAnnounce); err != nil {
 			return 0, err
 		}
 	}
@@ -470,6 +657,7 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 	// makes this cheap; charge the disk for the cold fraction).
 	cs := int64(im.info.ChunkSize)
 	writes := make([]blob.ChunkWrite, 0, len(dirtyIdx))
+	im.mu.Lock()
 	for _, ci := range dirtyIdx {
 		clen := im.chunkLen(ci)
 		var payload blob.Payload
@@ -479,21 +667,30 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 			copy(data, im.local[cstart:cstart+int64(clen)])
 			payload = blob.RealPayload(data)
 		} else {
-			payload = blob.SyntheticPayload(clen, uint64(im.blobID)<<32|uint64(im.version)+1)
+			payload = blob.SyntheticPayload(clen, uint64(id)<<32|uint64(base)+1)
 		}
 		writes = append(writes, blob.ChunkWrite{Index: ci, Payload: payload})
 		im.stats.CommittedBytes += int64(clen)
 	}
-	v, err := im.mod.client.WriteChunks(ctx, im.blobID, im.version, writes)
+	im.mu.Unlock()
+	v, keyOf, err := im.mod.client.WriteChunksKeyed(ctx, id, base, writes)
 	if err != nil {
 		return 0, err
 	}
+	sharing := im.mod.sharer != nil
+	im.mu.Lock()
 	im.version = v
 	im.stats.Commits++
 	im.stats.CommittedChunks += int64(len(writes))
 	for _, ci := range dirtyIdx {
 		im.chunks[ci].DirtyLo, im.chunks[ci].DirtyHi = 0, 0
+		if sharing {
+			// The client announced the committed keys; record them so
+			// a later dirtying write retracts this node as a holder.
+			im.announced[ci] = keyOf[ci]
+		}
 	}
+	im.mu.Unlock()
 	return v, nil
 }
 

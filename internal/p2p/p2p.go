@@ -1,0 +1,398 @@
+// Package p2p implements peer-to-peer chunk sharing for concurrent
+// multideployment — the scaling direction §7 of the paper names as
+// avoiding provider hot-spots when N mirroring modules deploy the same
+// image at once.
+//
+// Without sharing, every demand fetch of a hot chunk lands on the same
+// small replica set, so per-provider load scales linearly with N. With
+// sharing, a module that has already mirrored a chunk (by demand fetch,
+// prefetch or commit) becomes an alternate source for its cohort
+// siblings, and provider load per chunk drops to O(1): the first few
+// fetches seed the cohort, everything after is peer traffic spread over
+// the deployment's own NICs and disks.
+//
+// The design is tracker-based, like a registry-scale mirror fan-out
+// (cf. oc-mirror's mirror-to-disk-then-redistribute flow):
+//
+//   - A Registry lives on a tracker node (the version-manager/service
+//     node in the experiments). Per deployed image it keeps a Cohort:
+//     the member nodes plus a chunk-key → holders location map.
+//   - Members announce freshly mirrored chunks with one small RPC to
+//     the tracker. Announcements are deduplicated per (member, chunk),
+//     so a chunk fetched twice concurrently is only recorded once.
+//   - Every Config.DigestEvery fresh announcements the tracker pushes
+//     the accumulated location delta to all members along the binomial
+//     tree of the broadcast package (Control). Lookups that hit the
+//     local digest cost nothing; only digest misses pay a tracker RPC.
+//   - Locate picks the least-loaded holder (all nodes are equidistant
+//     behind the non-blocking switch, so "nearest" degenerates to
+//     least-loaded) and reserves one of its Config.MaxUploads upload
+//     slots. If every holder is saturated the caller falls back to the
+//     providers — hot peers shed load instead of becoming the new
+//     hot-spot.
+//   - A member whose local copy diverges from the published content
+//     (a mirrored chunk dirtied by a guest write) retracts itself.
+//
+// Cohort implements blob.ChunkSharer; the blob client consults it on
+// every chunk read and mirror modules announce through it. State is
+// shared memory guarded by a mutex that is never held across fabric
+// operations, so the same code runs on the live fabric (real
+// goroutines) and the discrete-event simulation.
+package p2p
+
+import (
+	"sync"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/broadcast"
+	"blobvfs/internal/cluster"
+)
+
+// Config carries the sharing layer's protocol constants.
+type Config struct {
+	// AnnounceBytes is the wire size of one chunk-location record.
+	AnnounceBytes int64
+	// DigestEvery pushes the accumulated location delta to all members
+	// (via the broadcast tree) after this many fresh announcements.
+	// 0 disables digests: every lookup then queries the tracker.
+	DigestEvery int
+	// MaxUploads caps a member's concurrent uploads to siblings; a
+	// saturated holder is skipped. 0 means unlimited.
+	MaxUploads int
+}
+
+// DefaultConfig returns the calibrated protocol constants.
+func DefaultConfig() Config {
+	return Config{AnnounceBytes: 24, DigestEvery: 64, MaxUploads: 4}
+}
+
+// Stats aggregates a cohort's protocol counters.
+type Stats struct {
+	Announced    int64 // chunk locations accepted by the tracker
+	Duplicates   int64 // announcements dropped by (member, chunk) dedup
+	Retracted    int64 // locations withdrawn (local copy diverged)
+	PeerHits     int64 // Locate calls answered with a peer
+	DigestHits   int64 // ... of which served from the local digest
+	Misses       int64 // fell back to providers: no sibling holds it
+	Saturated    int64 // fell back: every holder at MaxUploads
+	DigestPushes int64 // location deltas broadcast to the cohort
+}
+
+// Registry is the tracker-side sharing state: one Cohort per image.
+type Registry struct {
+	tracker cluster.NodeID
+	cfg     Config
+
+	mu      sync.Mutex
+	cohorts map[blob.ID]*Cohort
+}
+
+// NewRegistry creates a registry hosted on the tracker node.
+func NewRegistry(tracker cluster.NodeID, cfg Config) *Registry {
+	return &Registry{tracker: tracker, cfg: cfg, cohorts: make(map[blob.ID]*Cohort)}
+}
+
+// Tracker returns the node hosting the registry.
+func (r *Registry) Tracker() cluster.NodeID { return r.tracker }
+
+// Register creates (or extends) the cohort for an image and
+// disseminates the membership to all members along the broadcast tree.
+// It is how the middleware's orchestrator enrolls a deployment: every
+// node about to provision the image becomes a potential chunk source
+// for its siblings. Register is idempotent per member. Membership is
+// established at the tracker synchronously (Register is the tracker
+// operation); the broadcast charges the cost of informing the members,
+// and callers must not let members use the cohort before Register
+// returns — the orchestrator guarantees this by registering in
+// Prepare, before any instance is provisioned.
+func (r *Registry) Register(ctx *cluster.Ctx, image blob.ID, members []cluster.NodeID) *Cohort {
+	r.mu.Lock()
+	co, ok := r.cohorts[image]
+	if !ok {
+		co = &Cohort{
+			reg:     r,
+			image:   image,
+			members: make(map[cluster.NodeID]bool),
+			holders: make(map[blob.ChunkKey][]cluster.NodeID),
+			held:    make(map[holderPair]bool),
+			digest:  make(map[blob.ChunkKey][]cluster.NodeID),
+			uploads: make(map[cluster.NodeID]int),
+		}
+		r.cohorts[image] = co
+	}
+	r.mu.Unlock()
+
+	co.mu.Lock()
+	added := 0
+	for _, m := range members {
+		if m != r.tracker && !co.members[m] {
+			co.members[m] = true
+			co.order = append(co.order, m)
+			added++
+		}
+	}
+	targets := append([]cluster.NodeID(nil), co.order...)
+	co.mu.Unlock()
+
+	if added > 0 {
+		// Membership rides the binomial control tree from the tracker.
+		r.fromTracker(ctx, targets, int64(added)*r.cfg.AnnounceBytes)
+	}
+	return co
+}
+
+// Cohort returns the cohort registered for an image, or nil.
+func (r *Registry) Cohort(image blob.ID) *Cohort {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cohorts[image]
+}
+
+// fromTracker runs a control broadcast rooted at the tracker node,
+// spawning onto it first when the calling activity lives elsewhere.
+func (r *Registry) fromTracker(ctx *cluster.Ctx, targets []cluster.NodeID, bytes int64) {
+	if len(targets) == 0 || bytes <= 0 {
+		return
+	}
+	if ctx.Node() == r.tracker {
+		broadcast.Control(ctx, r.tracker, targets, bytes)
+		return
+	}
+	t := ctx.Go("p2p-control", r.tracker, func(cc *cluster.Ctx) {
+		broadcast.Control(cc, r.tracker, targets, bytes)
+	})
+	ctx.Wait(t)
+}
+
+// holderPair identifies one (member, chunk) location record.
+type holderPair struct {
+	node cluster.NodeID
+	key  blob.ChunkKey
+}
+
+// Cohort is the sharing state of one deployed image. It implements
+// blob.ChunkSharer; the member identity of every call is the calling
+// activity's node.
+type Cohort struct {
+	reg   *Registry
+	image blob.ID
+
+	mu      sync.Mutex
+	members map[cluster.NodeID]bool
+	order   []cluster.NodeID // deterministic member iteration
+	holders map[blob.ChunkKey][]cluster.NodeID
+	held    map[holderPair]bool
+	digest  map[blob.ChunkKey][]cluster.NodeID // as of the last push
+	pending []holderPair                       // announced since then
+	uploads map[cluster.NodeID]int
+	stats   Stats
+}
+
+// Image returns the blob this cohort shares.
+func (co *Cohort) Image() blob.ID { return co.image }
+
+// Members returns the cohort membership in registration order.
+func (co *Cohort) Members() []cluster.NodeID {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return append([]cluster.NodeID(nil), co.order...)
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (co *Cohort) Stats() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.stats
+}
+
+// Announce implements blob.ChunkSharer: it registers ctx.Node() as a
+// holder of the given chunks with one small RPC to the tracker.
+// Already-known (member, chunk) pairs are filtered out first — the
+// guard that keeps a chunk announced both by a prefetch and by a
+// concurrent demand fetch from being double-counted — and an
+// all-duplicate announcement costs nothing. The new locations become
+// visible to Locate only after the RPC completes: a sibling cannot be
+// steered to a holder before the announcement could physically have
+// reached the tracker. Crossing the digest threshold triggers an
+// asynchronous location-delta broadcast.
+func (co *Cohort) Announce(ctx *cluster.Ctx, keys []blob.ChunkKey) {
+	member := ctx.Node()
+	co.mu.Lock()
+	if !co.members[member] {
+		co.mu.Unlock()
+		return
+	}
+	// Phase 1: reserve the fresh pairs (exact dedup against concurrent
+	// announcers) without publishing them yet.
+	var fresh []holderPair
+	for _, key := range keys {
+		if key == 0 {
+			continue // sparse chunks have no payload to share
+		}
+		pair := holderPair{member, key}
+		if co.held[pair] {
+			co.stats.Duplicates++
+			continue
+		}
+		co.held[pair] = true
+		fresh = append(fresh, pair)
+	}
+	co.mu.Unlock()
+	if len(fresh) == 0 {
+		return
+	}
+
+	ctx.RPC(co.reg.tracker, int64(len(fresh))*co.reg.cfg.AnnounceBytes, 16)
+
+	// Phase 2: the announcement has reached the tracker; publish the
+	// locations. A pair retracted while the RPC was in flight (held
+	// entry gone again) stays unpublished.
+	co.mu.Lock()
+	for _, pair := range fresh {
+		if !co.held[pair] {
+			continue
+		}
+		co.holders[pair.key] = append(co.holders[pair.key], pair.node)
+		co.pending = append(co.pending, pair)
+		co.stats.Announced++
+	}
+	var delta []holderPair
+	var pushTargets []cluster.NodeID
+	if co.reg.cfg.DigestEvery > 0 && len(co.pending) >= co.reg.cfg.DigestEvery {
+		delta = co.pending
+		co.pending = nil
+		pushTargets = append(pushTargets, co.order...)
+		co.stats.DigestPushes++
+	}
+	co.mu.Unlock()
+
+	if len(delta) > 0 {
+		// The delta rides the broadcast tree in the background; the
+		// announcer does not wait for the fan-out, and members' local
+		// digests only incorporate it once the broadcast has delivered
+		// it (pairs retracted in the meantime are dropped).
+		reg := co.reg
+		pushBytes := int64(len(delta)) * reg.cfg.AnnounceBytes
+		ctx.Go("p2p-digest", reg.tracker, func(cc *cluster.Ctx) {
+			broadcast.Control(cc, reg.tracker, pushTargets, pushBytes)
+			co.mu.Lock()
+			for _, pair := range delta {
+				if co.held[pair] && !containsNode(co.digest[pair.key], pair.node) {
+					co.digest[pair.key] = append(co.digest[pair.key], pair.node)
+				}
+			}
+			co.mu.Unlock()
+		})
+	}
+}
+
+// Retract implements blob.ChunkSharer: ctx.Node() withdraws itself as
+// a holder of the given chunks, with one small RPC to the tracker for
+// the whole batch. Pairs the tracker does not know are ignored.
+func (co *Cohort) Retract(ctx *cluster.Ctx, keys []blob.ChunkKey) {
+	member := ctx.Node()
+	co.mu.Lock()
+	dropped := 0
+	for _, key := range keys {
+		pair := holderPair{member, key}
+		if !co.held[pair] {
+			continue
+		}
+		delete(co.held, pair)
+		co.holders[key] = removeNode(co.holders[key], member)
+		co.digest[key] = removeNode(co.digest[key], member)
+		for i, p := range co.pending {
+			if p == pair {
+				co.pending = append(co.pending[:i], co.pending[i+1:]...)
+				break
+			}
+		}
+		co.stats.Retracted++
+		dropped++
+	}
+	co.mu.Unlock()
+	if dropped > 0 {
+		ctx.RPC(co.reg.tracker, int64(dropped)*co.reg.cfg.AnnounceBytes, 16)
+	}
+}
+
+// Locate implements blob.ChunkSharer: it returns the least-loaded
+// cohort peer holding the chunk, reserving one of its upload slots.
+// The local digest is consulted first at zero cost; a digest miss pays
+// one small RPC to query the tracker's live map. ok=false sends the
+// caller to the providers (nobody has the chunk, or every holder is
+// at its upload cap).
+func (co *Cohort) Locate(ctx *cluster.Ctx, key blob.ChunkKey) (cluster.NodeID, func(), bool) {
+	req := ctx.Node()
+	co.mu.Lock()
+	if !co.members[req] {
+		co.mu.Unlock()
+		return 0, nil, false
+	}
+	peer, any, found := co.pickLocked(co.digest[key], req)
+	if found {
+		co.stats.DigestHits++
+	} else {
+		co.mu.Unlock()
+		ctx.RPC(co.reg.tracker, 32, 32)
+		co.mu.Lock()
+		peer, any, found = co.pickLocked(co.holders[key], req)
+	}
+	if !found {
+		if any {
+			co.stats.Saturated++
+		} else {
+			co.stats.Misses++
+		}
+		co.mu.Unlock()
+		return 0, nil, false
+	}
+	co.uploads[peer]++
+	co.stats.PeerHits++
+	co.mu.Unlock()
+	release := func() {
+		co.mu.Lock()
+		co.uploads[peer]--
+		co.mu.Unlock()
+	}
+	return peer, release, true
+}
+
+// pickLocked chooses the least-loaded eligible holder (deterministic:
+// first-announced wins ties). any reports whether a non-self holder
+// existed at all, so the caller can distinguish miss from saturation.
+func (co *Cohort) pickLocked(holders []cluster.NodeID, req cluster.NodeID) (best cluster.NodeID, any, found bool) {
+	maxUp := co.reg.cfg.MaxUploads
+	for _, h := range holders {
+		if h == req {
+			continue
+		}
+		any = true
+		load := co.uploads[h]
+		if maxUp > 0 && load >= maxUp {
+			continue
+		}
+		if !found || load < co.uploads[best] {
+			best, found = h, true
+		}
+	}
+	return best, any, found
+}
+
+func containsNode(nodes []cluster.NodeID, n cluster.NodeID) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func removeNode(nodes []cluster.NodeID, n cluster.NodeID) []cluster.NodeID {
+	for i, x := range nodes {
+		if x == n {
+			return append(nodes[:i], nodes[i+1:]...)
+		}
+	}
+	return nodes
+}
