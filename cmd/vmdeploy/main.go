@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|all
+//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|ablations|all
 //
 // fig4 prints all four panels of Fig. 4 (multideployment), fig5 both
 // panels of Fig. 5 (multisnapshotting), fig6/fig7 the Bonnie++
-// comparison, fig8 the Monte Carlo application. -quick runs the
-// scaled-down parameter set (shapes preserved, absolute values not
-// comparable to the paper).
+// comparison, fig8 the Monte Carlo application, flash the flash-crowd
+// scenario with p2p sharing off/on, churn the snapshot-lifecycle
+// scenario (keep-last-K retention + garbage collection; see -cycles
+// and -keep). -quick runs the scaled-down parameter set (shapes
+// preserved, absolute values not comparable to the paper).
 package main
 
 import (
@@ -29,9 +31,11 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down parameters (fast; shapes only)")
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	sweepArg := flag.String("sweep", "", "comma-separated instance counts (default 1,10,30,50,70,90,110)")
-	instances := flag.Int("instances", 0, "instance count for fig8/flash (defaults 100/256, or 16/64 with -quick)")
+	instances := flag.Int("instances", 0, "instance count for fig8/flash/churn (defaults 100/256/32, or 16/64/8 with -quick)")
+	cycles := flag.Int("cycles", 8, "snapshot cycles for churn")
+	keep := flag.Int("keep", 2, "keep-last-K retention window for churn (0 = no retention)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,11 +48,13 @@ func main() {
 	p := experiments.Default()
 	fig8N := 100
 	flashN := 256
+	churnN := 32
 	if *quick {
 		p = experiments.Quick()
 		p.MaxInstances = 24
 		fig8N = 16
 		flashN = 64
+		churnN = 8
 	}
 	if *seed != 0 {
 		p.Seed = *seed
@@ -56,6 +62,7 @@ func main() {
 	if *instances > 0 {
 		fig8N = *instances
 		flashN = *instances
+		churnN = *instances
 	}
 	sweep := experiments.DefaultSweep()
 	if *quick {
@@ -96,6 +103,24 @@ func main() {
 		on := experiments.RunFlashCrowd(p, experiments.FlashCrowdConfig{Instances: flashN, Sharing: true})
 		return []*metrics.Table{experiments.FlashCrowdTable([]experiments.FlashCrowdPoint{off, on})}
 	}
+	churn := func() []*metrics.Table {
+		pt := experiments.RunChurn(p, experiments.ChurnConfig{
+			Instances: churnN,
+			Cycles:    *cycles,
+			KeepLast:  *keep,
+		})
+		tables := []*metrics.Table{experiments.ChurnTable(pt)}
+		if *keep > 0 {
+			// The unbounded baseline for contrast: same churn, no
+			// retention, nothing ever reclaimed.
+			base := experiments.RunChurn(p, experiments.ChurnConfig{
+				Instances: churnN,
+				Cycles:    *cycles,
+			})
+			tables = append(tables, experiments.ChurnTable(base))
+		}
+		return tables
+	}
 	ablations := func() []*metrics.Table {
 		n := 16
 		if !*quick {
@@ -117,6 +142,8 @@ func main() {
 		run("fig8", fig8)
 	case "flash":
 		run("flash", flash)
+	case "churn":
+		run("churn", churn)
 	case "ablations":
 		run("ablations", ablations)
 	case "all":
@@ -125,6 +152,7 @@ func main() {
 		run("fig6/7", fig67)
 		run("fig8", fig8)
 		run("flash", flash)
+		run("churn", churn)
 		run("ablations", ablations)
 	default:
 		flag.Usage()

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun builds and runs every examples/* program on
+// the live fabric. The examples are executable documentation of the
+// public API (quickstart, debugclone, multideploy, webfarm); this
+// smoke test is their only coverage, so a refactor that breaks one
+// fails here instead of on a reader's machine. Each program must exit
+// cleanly and print something within the timeout.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out; output:\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\noutput:\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", name)
+			}
+		})
+	}
+}

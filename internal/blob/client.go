@@ -102,6 +102,21 @@ func (c *Client) cacheNew(nodes []NewNode) {
 	c.mu.Unlock()
 }
 
+// pendingAllocator returns a node-ref allocator that registers every
+// ref as pending (exempt from GC sweeps while the version is in
+// flight) and a done function that clears the marks once the version
+// is published or the operation abandoned.
+func (c *Client) pendingAllocator() (alloc func() NodeRef, done func()) {
+	var refs []NodeRef
+	alloc = func() NodeRef {
+		r := c.sys.Meta.AllocPendingRef()
+		refs = append(refs, r)
+		return r
+	}
+	done = func() { c.sys.Meta.ClearPending(refs) }
+	return alloc, done
+}
+
 type boundGetter struct {
 	c   *Client
 	ctx *cluster.Ctx
@@ -118,6 +133,18 @@ func (c *Client) Create(ctx *cluster.Ctx, size int64, chunkSize int) (ID, error)
 // Latest returns the newest published version of the blob (0 if none).
 func (c *Client) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
 	return c.sys.VM.Latest(ctx, id)
+}
+
+// PinVersion pins snapshot (id, v) against retirement and garbage
+// collection; long-lived holders (the mirroring module, for as long as
+// an image is open) pin what they read from. See VersionManager.Pin.
+func (c *Client) PinVersion(id ID, v Version) error {
+	return c.sys.VM.Pin(id, v)
+}
+
+// UnpinVersion releases a pin taken with PinVersion.
+func (c *Client) UnpinVersion(id ID, v Version) {
+	c.sys.VM.Unpin(id, v)
 }
 
 // ChunkWrite names a chunk index and its new payload for WriteChunks.
@@ -163,13 +190,17 @@ func (c *Client) WriteChunksKeyed(ctx *cluster.Ctx, id ID, base Version, writes 
 		}
 	}
 
-	// Phase 1: push chunk payloads to the providers.
+	// Phase 1: push chunk payloads to the providers. Keys are allocated
+	// as pending: until the version publishes, no tree references the
+	// new chunks, and the pending mark is what keeps a concurrent
+	// garbage-collection sweep from reclaiming them in that window.
 	dirty := make([]DirtyLeaf, len(sorted))
 	keys := make([]ChunkKey, len(sorted))
 	for i := range sorted {
-		keys[i] = c.sys.Providers.AllocKey()
+		keys[i] = c.sys.Providers.AllocPendingKey()
 		dirty[i] = DirtyLeaf{Index: sorted[i].Index, Chunk: keys[i]}
 	}
+	defer c.sys.Providers.ClearPending(keys)
 	putErrs := make([]error, len(sorted))
 	c.forEachParallel(ctx, "put-chunk", len(sorted), func(cc *cluster.Ctx, i int) {
 		putErrs[i] = c.sys.Providers.Put(cc, keys[i], sorted[i].Payload)
@@ -187,19 +218,31 @@ func (c *Client) WriteChunksKeyed(ctx *cluster.Ctx, id ID, base Version, writes 
 		c.sharer.Announce(ctx, keys)
 	}
 
-	// Phase 2: ticket, shadowed metadata, publication.
+	// Phase 2: ticket, shadowed metadata, publication. The base version
+	// is pinned for the duration of the build so a concurrent retention
+	// sweep cannot retire it (and the garbage collector cannot reclaim
+	// the subtrees the new version is about to share).
+	var oldRoot NodeRef
+	if base > 0 {
+		if err := c.sys.VM.Pin(id, base); err != nil {
+			return 0, nil, err
+		}
+		defer c.sys.VM.Unpin(id, base)
+	}
 	ticket, err := c.sys.VM.Ticket(ctx, id)
 	if err != nil {
 		return 0, nil, err
 	}
-	var oldRoot NodeRef
 	if base > 0 {
 		oldRoot, err = c.sys.VM.Root(ctx, id, base)
 		if err != nil {
 			return 0, nil, err
 		}
 	}
-	root, created, err := BuildVersion(boundGetter{c, ctx}, oldRoot, inf.Span, dirty, c.sys.Meta.AllocRef)
+	// The new tree nodes are pending for the same reason as the keys.
+	alloc, done := c.pendingAllocator()
+	defer done()
+	root, created, err := BuildVersion(boundGetter{c, ctx}, oldRoot, inf.Span, dirty, alloc)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -219,6 +262,12 @@ func (c *Client) Clone(ctx *cluster.Ctx, id ID, v Version) (ID, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Pin the source snapshot while the clone root is built and
+	// published, for the same reason WriteChunksKeyed pins its base.
+	if err := c.sys.VM.Pin(id, v); err != nil {
+		return 0, err
+	}
+	defer c.sys.VM.Unpin(id, v)
 	srcRoot, err := c.sys.VM.Root(ctx, id, v)
 	if err != nil {
 		return 0, err
@@ -227,7 +276,9 @@ func (c *Client) Clone(ctx *cluster.Ctx, id ID, v Version) (ID, error) {
 	if err != nil {
 		return 0, err
 	}
-	root, created, err := CloneRoot(boundGetter{c, ctx}, srcRoot, inf.Span, c.sys.Meta.AllocRef)
+	alloc, done := c.pendingAllocator()
+	defer done()
+	root, created, err := CloneRoot(boundGetter{c, ctx}, srcRoot, inf.Span, alloc)
 	if err != nil {
 		return 0, err
 	}

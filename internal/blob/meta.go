@@ -15,11 +15,13 @@ type MetaService struct {
 	providers []cluster.NodeID
 	nextRef   atomic.Uint64
 
-	mu    sync.Mutex
-	nodes map[NodeRef]TreeNode
+	mu      sync.Mutex
+	nodes   map[NodeRef]TreeNode
+	pending map[NodeRef]bool // refs of in-flight, unpublished versions
 
-	// Puts and Gets count service operations (after batching).
-	Puts, Gets atomic.Int64
+	// Puts and Gets count service operations (after batching); Freed
+	// counts tree nodes reclaimed by garbage-collection sweeps.
+	Puts, Gets, Freed atomic.Int64
 }
 
 // NewMetaService creates a metadata store over the given provider nodes.
@@ -30,13 +32,8 @@ func NewMetaService(providers []cluster.NodeID) *MetaService {
 	return &MetaService{
 		providers: providers,
 		nodes:     make(map[NodeRef]TreeNode),
+		pending:   make(map[NodeRef]bool),
 	}
-}
-
-// AllocRef returns a fresh globally unique node reference. Refs are
-// client-generated in BlobSeer as well, so no RPC is charged.
-func (m *MetaService) AllocRef() NodeRef {
-	return NodeRef(m.nextRef.Add(1))
 }
 
 // Home returns the metadata provider responsible for a reference.
@@ -80,6 +77,78 @@ func (m *MetaService) PutBatch(ctx *cluster.Ctx, nodes []NewNode) {
 		m.nodes[nn.Ref] = nn.Node
 	}
 	m.mu.Unlock()
+}
+
+// RefWatermark returns the highest node reference allocated so far.
+// Like ProviderSet.KeyWatermark, the garbage collector snapshots it
+// before marking so nodes of in-flight versions are exempt from the
+// sweep.
+func (m *MetaService) RefWatermark() NodeRef {
+	return NodeRef(m.nextRef.Load())
+}
+
+// AllocPendingRef returns a fresh globally unique node reference for
+// a version being built (refs are client-generated in BlobSeer as
+// well, so no RPC is charged): the ref is atomically registered as
+// pending so a concurrent sweep will not reclaim the node before its
+// version publishes. The writer must ClearPending after publication
+// (or abort). See ProviderSet.AllocPendingKey for the
+// snapshot-atomicity argument.
+func (m *MetaService) AllocPendingRef() NodeRef {
+	m.mu.Lock()
+	ref := NodeRef(m.nextRef.Add(1))
+	m.pending[ref] = true
+	m.mu.Unlock()
+	return ref
+}
+
+// ClearPending removes the in-flight mark from refs (idempotent).
+func (m *MetaService) ClearPending(refs []NodeRef) {
+	m.mu.Lock()
+	for _, r := range refs {
+		delete(m.pending, r)
+	}
+	m.mu.Unlock()
+}
+
+// PendingSnapshot atomically samples the ref watermark and the set of
+// in-flight refs, taken at the start of a collection cycle.
+func (m *MetaService) PendingSnapshot() (NodeRef, map[NodeRef]bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wm := NodeRef(m.nextRef.Load())
+	pending := make(map[NodeRef]bool, len(m.pending))
+	for r := range m.pending {
+		pending[r] = true
+	}
+	return wm, pending
+}
+
+// Sweep deletes every stored node up to the watermark that is neither
+// in the live set nor in the pending snapshot, and returns how many it
+// removed, charging one batched RPC per affected home provider
+// (immutable nodes need no further coordination to drop). The caller
+// guarantees the live set covers every node reachable from a live
+// snapshot root.
+func (m *MetaService) Sweep(ctx *cluster.Ctx, upTo NodeRef, live, pending map[NodeRef]bool) int {
+	counts := make(map[cluster.NodeID]int64)
+	m.mu.Lock()
+	for ref := range m.nodes {
+		if ref <= upTo && !live[ref] && !pending[ref] {
+			delete(m.nodes, ref)
+			counts[m.Home(ref)]++
+		}
+	}
+	m.mu.Unlock()
+	freed := 0
+	for _, prov := range m.providers {
+		if c := counts[prov]; c > 0 {
+			ctx.RPC(prov, c*16, 16)
+			freed += int(c)
+		}
+	}
+	m.Freed.Add(int64(freed))
+	return freed
 }
 
 // NodeCount returns the number of stored tree nodes (metadata footprint).

@@ -26,17 +26,22 @@ type ProviderSet struct {
 	dedup    bool
 	nextKey  atomic.Uint64
 
-	mu      sync.Mutex
-	chunks  map[ChunkKey]Payload
-	byPrint map[uint64]ChunkKey // content fingerprint → canonical key
-	refs    map[ChunkKey]int64  // reference counts under dedup
-	aliases map[ChunkKey]ChunkKey
-	alive   map[cluster.NodeID]bool
-	readsBy map[cluster.NodeID]int64 // chunk reads served, per provider
+	mu       sync.Mutex
+	chunks   map[ChunkKey]Payload
+	byPrint  map[uint64]ChunkKey // content fingerprint → canonical key
+	printOf  map[ChunkKey]uint64 // canonical key → its fingerprint
+	refs     map[ChunkKey]int64  // content references: canonical self + aliases
+	aliases  map[ChunkKey]ChunkKey
+	retained map[ChunkKey]bool // keys Put and not yet Released
+	pending  map[ChunkKey]bool // keys of in-flight, unpublished commits
+	alive    map[cluster.NodeID]bool
+	readsBy  map[cluster.NodeID]int64 // chunk reads served, per provider
 
 	// Reads and Writes count chunk-level operations; DedupHits counts
-	// Puts absorbed by an existing identical chunk.
-	Reads, Writes, DedupHits atomic.Int64
+	// Puts absorbed by an existing identical chunk. Reclaimed and
+	// ReclaimedBytes count chunk payloads physically freed by Release.
+	Reads, Writes, DedupHits  atomic.Int64
+	Reclaimed, ReclaimedBytes atomic.Int64
 }
 
 // NewProviderSet creates a chunk store over the given nodes with the
@@ -57,8 +62,11 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 		replicas: replicas,
 		chunks:   make(map[ChunkKey]Payload),
 		byPrint:  make(map[uint64]ChunkKey),
+		printOf:  make(map[ChunkKey]uint64),
 		refs:     make(map[ChunkKey]int64),
 		aliases:  make(map[ChunkKey]ChunkKey),
+		retained: make(map[ChunkKey]bool),
+		pending:  make(map[ChunkKey]bool),
 		alive:    alive,
 		readsBy:  make(map[cluster.NodeID]int64),
 	}
@@ -87,9 +95,55 @@ func fingerprint(p Payload) (uint64, bool) {
 }
 
 // AllocKey returns a fresh chunk key. Sequential keys give round-robin
-// placement, matching the even striping of §3.1.3.
+// placement, matching the even striping of §3.1.3. The key is NOT
+// registered as in-flight: when a garbage Collector runs concurrently,
+// chunks of a not-yet-published version must be allocated with
+// AllocPendingKey instead or a sweep may reclaim them before the
+// version's tree references them.
 func (ps *ProviderSet) AllocKey() ChunkKey {
 	return ChunkKey(ps.nextKey.Add(1))
+}
+
+// AllocPendingKey is AllocKey for a commit in flight: the key is
+// atomically registered as pending, so a garbage-collection sweep that
+// starts before the commit publishes will not reclaim it even though
+// no published tree references it yet. The writer must ClearPending
+// once the version is published (or the write aborted). Allocation and
+// registration happen under one lock so the collector's snapshot
+// (PendingSnapshot) can never observe the key allocated but untracked.
+func (ps *ProviderSet) AllocPendingKey() ChunkKey {
+	ps.mu.Lock()
+	key := ChunkKey(ps.nextKey.Add(1))
+	ps.pending[key] = true
+	ps.mu.Unlock()
+	return key
+}
+
+// ClearPending removes the in-flight mark from keys (idempotent). The
+// chunks become ordinary sweep candidates: reachable from the version
+// just published, or garbage of an aborted write for the next cycle.
+func (ps *ProviderSet) ClearPending(keys []ChunkKey) {
+	ps.mu.Lock()
+	for _, k := range keys {
+		delete(ps.pending, k)
+	}
+	ps.mu.Unlock()
+}
+
+// PendingSnapshot atomically samples the key watermark and the set of
+// in-flight keys. Taken at the start of a collection cycle, it makes
+// the exemption airtight: a key at or below the watermark was either
+// pending at the snapshot (exempt) or its commit had already
+// published (so the mark phase reaches it through the version's root).
+func (ps *ProviderSet) PendingSnapshot() (ChunkKey, map[ChunkKey]bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	wm := ChunkKey(ps.nextKey.Load())
+	pending := make(map[ChunkKey]bool, len(ps.pending))
+	for k := range ps.pending {
+		pending[k] = true
+	}
+	return wm, pending
 }
 
 // Replicas returns the provider nodes responsible for a key, primary
@@ -144,6 +198,7 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 				canonical = existing
 			} else {
 				ps.byPrint[fp] = key
+				ps.printOf[key] = fp
 			}
 			ps.mu.Unlock()
 		}
@@ -171,6 +226,7 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 		ps.chunks[key] = p
 		ps.refs[key]++
 	}
+	ps.retained[key] = true
 	ps.mu.Unlock()
 	ps.Writes.Add(1)
 	return nil
@@ -253,6 +309,95 @@ func (ps *ProviderSet) ChunkCount() int {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return len(ps.chunks)
+}
+
+// KeyWatermark returns the highest chunk key allocated so far. The
+// garbage collector snapshots it before marking: keys allocated after
+// the snapshot belong to versions still being written and are exempt
+// from the sweep, which is what lets collection run while deployments
+// and commits proceed.
+func (ps *ProviderSet) KeyWatermark() ChunkKey {
+	return ChunkKey(ps.nextKey.Load())
+}
+
+// RetainedKeys returns every key up to the watermark that still holds
+// a reference — canonical chunks that own their self-reference and
+// dedup aliases. This is the sweep candidate set; keys absent from it
+// were already released (their content may live on through aliases).
+func (ps *ProviderSet) RetainedKeys(upTo ChunkKey) []ChunkKey {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]ChunkKey, 0, len(ps.retained))
+	for k := range ps.retained {
+		if k <= upTo {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Release drops the reference held by each key: an alias decrements
+// its canonical chunk's count; a canonical key gives up its
+// self-reference. A chunk whose count reaches zero is physically
+// freed (its payload, fingerprint entry and replicas' disk space).
+// Keys already released or never stored are ignored, so Release is
+// idempotent per key. It returns the keys actually released and the
+// payload bytes freed, and charges one small batched RPC per replica
+// provider of the released keys — deletion is a metadata operation;
+// the freed blocks are trimmed asynchronously.
+func (ps *ProviderSet) Release(ctx *cluster.Ctx, keys []ChunkKey) (released []ChunkKey, freedBytes int64) {
+	perNode := make(map[cluster.NodeID]int64)
+	ps.mu.Lock()
+	for _, key := range keys {
+		if !ps.retained[key] {
+			continue
+		}
+		delete(ps.retained, key)
+		canon := key
+		if c, ok := ps.aliases[key]; ok {
+			canon = c
+			delete(ps.aliases, key)
+		}
+		released = append(released, key)
+		if ps.refs[canon]--; ps.refs[canon] <= 0 {
+			delete(ps.refs, canon)
+			if p, ok := ps.chunks[canon]; ok {
+				delete(ps.chunks, canon)
+				freedBytes += int64(p.Size)
+				ps.Reclaimed.Add(1)
+				ps.ReclaimedBytes.Add(int64(p.Size))
+			}
+			if fp, ok := ps.printOf[canon]; ok {
+				delete(ps.printOf, canon)
+				if ps.byPrint[fp] == canon {
+					delete(ps.byPrint, fp)
+				}
+			}
+		}
+		for _, prov := range ps.Replicas(key) {
+			perNode[prov]++
+		}
+	}
+	ps.mu.Unlock()
+	// Charge per-provider deletion batches in deterministic ring order.
+	for _, prov := range ps.nodes {
+		if c := perNode[prov]; c > 0 && ps.isAlive(prov) {
+			ctx.RPC(prov, c*24, 16)
+		}
+	}
+	return released, freedBytes
+}
+
+// RefCount returns (without cost) the content reference count behind a
+// key: the canonical chunk's count for aliases, the key's own count
+// otherwise. Zero means the content is gone.
+func (ps *ProviderSet) RefCount(key ChunkKey) int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if canon, ok := ps.aliases[key]; ok {
+		key = canon
+	}
+	return ps.refs[key]
 }
 
 // StoredBytes returns the total payload bytes stored (one copy counted

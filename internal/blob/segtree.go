@@ -170,6 +170,46 @@ func CloneRoot(g Getter, srcRoot NodeRef, span int64, alloc func() NodeRef) (Nod
 	return ref, []NewNode{{Ref: ref, Node: n}}, nil
 }
 
+// WalkReachable visits every tree node and chunk key reachable from
+// root, pruning subtrees whose root the caller has already seen:
+// visitNode returns false to stop descending (the ref was reached from
+// another version's tree — shadowing and cloning share whole subtrees,
+// so a mark phase over many roots visits each node exactly once).
+// Sparse subtrees (ref 0) are skipped. This is the pure mark primitive
+// of the snapshot garbage collector; like CollectLeaves it validates
+// the range invariants as it walks, so corruption surfaces as an error
+// instead of an under- or over-mark.
+func WalkReachable(g Getter, root NodeRef, span int64, visitNode func(NodeRef) bool, visitChunk func(ChunkKey)) error {
+	var walk func(ref NodeRef, nlo, nhi int64) error
+	walk = func(ref NodeRef, nlo, nhi int64) error {
+		if ref == 0 {
+			return nil
+		}
+		if !visitNode(ref) {
+			return nil
+		}
+		n, err := g.GetNode(ref)
+		if err != nil {
+			return err
+		}
+		if n.Lo != nlo || n.Hi != nhi {
+			return fmt.Errorf("blob: tree corruption: node %d covers [%d,%d), expected [%d,%d)", ref, n.Lo, n.Hi, nlo, nhi)
+		}
+		if n.Leaf() {
+			if n.Chunk != 0 {
+				visitChunk(n.Chunk)
+			}
+			return nil
+		}
+		mid := (nlo + nhi) / 2
+		if err := walk(n.Left, nlo, mid); err != nil {
+			return err
+		}
+		return walk(n.Right, mid, nhi)
+	}
+	return walk(root, 0, span)
+}
+
 func nil2() NodeRef { return 0 }
 
 func max64(a, b int64) int64 {

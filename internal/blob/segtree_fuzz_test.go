@@ -1,0 +1,149 @@
+package blob
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets for the pure segment-tree algorithms. The fuzz
+// input is interpreted as a little program: the first byte picks the
+// tree span, every following pair of bytes is a dirty-leaf bitmask for
+// one more shadowed version built over the previous one. After every
+// step the whole stack of invariants is checked against a flat
+// reference model: CollectLeaves must reproduce the model exactly,
+// BuildVersion must create only the nodes on dirty root-to-leaf paths,
+// and WalkReachable must see exactly the model's chunks. CI runs a
+// short -fuzz smoke on both targets; the checked-in seeds keep the
+// interesting shapes (empty tree, single leaf, full span, sparse
+// holes) in the regression corpus.
+
+// fuzzSpan derives a power-of-two span in [1,16] from a byte.
+func fuzzSpan(b byte) int64 { return int64(1) << (b % 5) }
+
+// applyFuzzVersions replays the version program in data over a fresh
+// store, validating after each step. It returns the final root, the
+// flat model, and the store.
+func applyFuzzVersions(t *testing.T, span int64, data []byte) (NodeRef, []ChunkKey, *mapStore) {
+	t.Helper()
+	m := newMapStore()
+	model := make([]ChunkKey, span)
+	var root NodeRef
+	nextKey := ChunkKey(0)
+	const maxRounds = 8
+	for r := 0; r+1 < len(data) && r/2 < maxRounds; r += 2 {
+		mask := uint16(data[r]) | uint16(data[r+1])<<8
+		var dirty []DirtyLeaf
+		for i := int64(0); i < span; i++ {
+			if mask&(1<<uint(i%16)) == 0 || i >= 16 {
+				continue
+			}
+			nextKey++
+			dirty = append(dirty, DirtyLeaf{Index: i, Chunk: nextKey})
+		}
+		newRoot, created, err := BuildVersion(m, root, span, dirty, m.alloc)
+		if err != nil {
+			t.Fatalf("BuildVersion(span=%d, %d dirty): %v", span, len(dirty), err)
+		}
+		if len(dirty) == 0 {
+			if newRoot != root || len(created) != 0 {
+				t.Fatalf("empty dirty set must share the old tree unchanged")
+			}
+			continue
+		}
+		if created[len(created)-1].Ref != newRoot {
+			t.Fatalf("last created node %d is not the root %d", created[len(created)-1].Ref, newRoot)
+		}
+		m.commit(created)
+		root = newRoot
+		for _, d := range dirty {
+			model[d.Index] = d.Chunk
+		}
+
+		leaves, err := CollectLeaves(m, root, span, 0, span)
+		if err != nil {
+			t.Fatalf("CollectLeaves after build: %v", err)
+		}
+		if int64(len(leaves)) != span {
+			t.Fatalf("CollectLeaves returned %d entries for span %d", len(leaves), span)
+		}
+		for _, lf := range leaves {
+			if lf.Chunk != model[lf.Index] {
+				t.Fatalf("index %d: key %d, model %d", lf.Index, lf.Chunk, model[lf.Index])
+			}
+		}
+		reachable := make(map[ChunkKey]bool)
+		err = WalkReachable(m, root, span,
+			func(NodeRef) bool { return true },
+			func(key ChunkKey) { reachable[key] = true })
+		if err != nil {
+			t.Fatalf("WalkReachable: %v", err)
+		}
+		want := make(map[ChunkKey]bool)
+		for _, key := range model {
+			if key != 0 {
+				want[key] = true
+			}
+		}
+		if len(reachable) != len(want) {
+			t.Fatalf("WalkReachable saw %d chunks, model has %d", len(reachable), len(want))
+		}
+		for key := range want {
+			if !reachable[key] {
+				t.Fatalf("model chunk %d not reached", key)
+			}
+		}
+	}
+	return root, model, m
+}
+
+func FuzzBuildVersion(f *testing.F) {
+	f.Add([]byte{0})                                     // span 1, no versions
+	f.Add([]byte{0, 0x01, 0x00})                         // span 1, single leaf
+	f.Add([]byte{4, 0xff, 0xff})                         // span 16, fully dirty
+	f.Add([]byte{3, 0x05, 0x00, 0xa0, 0x00})             // span 8, sparse holes, two versions
+	f.Add([]byte{2, 0x0f, 0x00, 0x03, 0x00, 0x0c, 0x00}) // span 4, three shadowed versions
+	f.Add(bytes.Repeat([]byte{4, 0x11}, 8))              // span 16, alternating pattern
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		applyFuzzVersions(t, fuzzSpan(data[0]), data[1:])
+	})
+}
+
+func FuzzCollectLeaves(f *testing.F) {
+	f.Add([]byte{4, 0xff, 0xff}, int64(0), int64(16))
+	f.Add([]byte{3, 0x12, 0x00}, int64(2), int64(7))
+	f.Add([]byte{2, 0x0f, 0x00}, int64(3), int64(3))  // empty range
+	f.Add([]byte{1, 0x03, 0x00}, int64(-1), int64(2)) // invalid: lo < 0
+	f.Add([]byte{0, 0x01, 0x00}, int64(0), int64(9))  // invalid: hi > span
+	f.Add([]byte{4, 0x00, 0x00}, int64(5), int64(1))  // invalid: lo > hi
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi int64) {
+		if len(data) == 0 {
+			return
+		}
+		span := fuzzSpan(data[0])
+		root, model, m := applyFuzzVersions(t, span, data[1:])
+		leaves, err := CollectLeaves(m, root, span, lo, hi)
+		if lo < 0 || hi > span || lo > hi {
+			if err == nil {
+				t.Fatalf("CollectLeaves accepted invalid range [%d,%d) over span %d", lo, hi, span)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("CollectLeaves([%d,%d)): %v", lo, hi, err)
+		}
+		if int64(len(leaves)) != hi-lo {
+			t.Fatalf("got %d entries for range [%d,%d)", len(leaves), lo, hi)
+		}
+		for i, lf := range leaves {
+			if lf.Index != lo+int64(i) {
+				t.Fatalf("entry %d has index %d, want %d (in order)", i, lf.Index, lo+int64(i))
+			}
+			if lf.Chunk != model[lf.Index] {
+				t.Fatalf("index %d: key %d, model %d", lf.Index, lf.Chunk, model[lf.Index])
+			}
+		}
+	})
+}

@@ -52,8 +52,11 @@ func (c *Client) getChunk(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 				return p, nil
 			}
 			// The tracker knew a holder but the store has no such
-			// chunk (e.g. racing with garbage collection): release the
-			// slot and fall back to the providers' error path.
+			// chunk: a garbage-collection sweep (gc.go) freed it after
+			// the holder was located but before this read — the
+			// tracker-side retraction (ReclaimListener) is asynchronous
+			// with respect to in-flight lookups. Release the slot and
+			// fall back to the providers' error path.
 			release()
 		}
 	}

@@ -30,6 +30,8 @@ type blobState struct {
 	tickets   Version             // highest ticket handed out
 	pending   map[Version]NodeRef // out-of-order completed commits
 	gates     map[Version]*cluster.Gate
+	retired   map[Version]bool // logically deleted versions
+	pins      map[Version]int  // open-reference counts (mirrors, in-flight commits)
 }
 
 // NewVersionManager creates a version manager hosted on the given node.
@@ -56,6 +58,8 @@ func (vm *VersionManager) CreateBlob(ctx *cluster.Ctx, size int64, chunkSize int
 		info:    Info{ID: id, Size: size, ChunkSize: chunkSize, Span: span2(chunks)},
 		pending: make(map[Version]NodeRef),
 		gates:   make(map[Version]*cluster.Gate),
+		retired: make(map[Version]bool),
+		pins:    make(map[Version]int),
 	}
 	return id, nil
 }
@@ -73,7 +77,10 @@ func (vm *VersionManager) Info(ctx *cluster.Ctx, id ID) (Info, error) {
 	return st.info, nil
 }
 
-// Latest returns the newest published version (0 if none).
+// Latest returns the newest published version that has not been
+// retired (0 if none). Retirement unpublishes a version from the
+// Latest chain: clients building on "the current image" never see a
+// snapshot that is scheduled for reclamation.
 func (vm *VersionManager) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
 	ctx.RPC(vm.node, 16, 16)
 	vm.mu.Lock()
@@ -82,10 +89,17 @@ func (vm *VersionManager) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
 	if !ok {
 		return 0, notFound("blob", id)
 	}
-	return Version(len(st.published)), nil
+	for v := Version(len(st.published)); v >= 1; v-- {
+		if !st.retired[v] {
+			return v, nil
+		}
+	}
+	return 0, nil
 }
 
-// Root returns the published root of (id, v).
+// Root returns the published root of (id, v). A retired version is
+// logically deleted: its root is no longer resolvable, even before the
+// garbage collector has physically reclaimed its storage.
 func (vm *VersionManager) Root(ctx *cluster.Ctx, id ID, v Version) (NodeRef, error) {
 	ctx.RPC(vm.node, 24, 16)
 	vm.mu.Lock()
@@ -94,7 +108,7 @@ func (vm *VersionManager) Root(ctx *cluster.Ctx, id ID, v Version) (NodeRef, err
 	if !ok {
 		return 0, notFound("blob", id)
 	}
-	if v < 1 || int(v) > len(st.published) {
+	if v < 1 || int(v) > len(st.published) || st.retired[v] {
 		return 0, notFound("version", fmt.Sprintf("%d@%d", id, v))
 	}
 	return st.published[v-1], nil
@@ -176,4 +190,155 @@ func (vm *VersionManager) Published(id ID) int {
 		return 0
 	}
 	return len(st.published)
+}
+
+// ErrPinned reports an attempt to retire a version that is still open
+// somewhere (a mirror has it mounted, or a commit is building on it).
+type ErrPinned struct {
+	ID ID
+	V  Version
+}
+
+func (e *ErrPinned) Error() string {
+	return fmt.Sprintf("blob: version %d@%d is pinned", e.ID, e.V)
+}
+
+// Pin marks (id, v) as in use: a pinned version cannot be retired, so
+// the garbage collector treats its snapshot as live. Mirrors pin the
+// version they mirror for as long as the image is open, and clients
+// pin the base of an in-flight commit or clone. Pinning a retired or
+// unpublished version fails. Pins nest; every Pin needs one Unpin.
+//
+// The pin piggybacks on the RPC its caller is already making to the
+// manager (Info/Root/Ticket), so no separate cost is charged.
+func (vm *VersionManager) Pin(id ID, v Version) error {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return notFound("blob", id)
+	}
+	if v < 1 || int(v) > len(st.published) || st.retired[v] {
+		return notFound("version", fmt.Sprintf("%d@%d", id, v))
+	}
+	st.pins[v]++
+	return nil
+}
+
+// Unpin releases one pin on (id, v). Unknown pins are ignored.
+func (vm *VersionManager) Unpin(id ID, v Version) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return
+	}
+	if st.pins[v] > 0 {
+		if st.pins[v]--; st.pins[v] == 0 {
+			delete(st.pins, v)
+		}
+	}
+}
+
+// Pins returns (without cost) the pin count of (id, v).
+func (vm *VersionManager) Pins(id ID, v Version) int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return 0
+	}
+	return st.pins[v]
+}
+
+// Retire logically deletes version v of blob id: it disappears from
+// Latest and Root immediately; the storage it holds exclusively is
+// reclaimed by the next garbage collection. Retiring a pinned version
+// fails with *ErrPinned — the caller retries after the holder closes.
+func (vm *VersionManager) Retire(ctx *cluster.Ctx, id ID, v Version) error {
+	ctx.RPC(vm.node, 24, 16)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return notFound("blob", id)
+	}
+	if v < 1 || int(v) > len(st.published) || st.retired[v] {
+		return notFound("version", fmt.Sprintf("%d@%d", id, v))
+	}
+	if st.pins[v] > 0 {
+		return &ErrPinned{ID: id, V: v}
+	}
+	st.retired[v] = true
+	return nil
+}
+
+// RetireUpTo retires every published, unpinned version of id up to and
+// including upTo, skipping pinned ones (they retire on a later sweep,
+// once their holders close). It returns how many versions it retired.
+// This is the primitive behind the keep-last-K retention policy.
+func (vm *VersionManager) RetireUpTo(ctx *cluster.Ctx, id ID, upTo Version) (int, error) {
+	ctx.RPC(vm.node, 24, 16)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return 0, notFound("blob", id)
+	}
+	if int(upTo) > len(st.published) {
+		upTo = Version(len(st.published))
+	}
+	retired := 0
+	for v := Version(1); v <= upTo; v++ {
+		if !st.retired[v] && st.pins[v] == 0 {
+			st.retired[v] = true
+			retired++
+		}
+	}
+	return retired, nil
+}
+
+// Retired returns (without cost) how many versions of id are retired.
+func (vm *VersionManager) Retired(id ID) int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return 0
+	}
+	return len(st.retired)
+}
+
+// LiveRoot names one snapshot the garbage collector must treat as
+// reachable: a published version that is not retired, or retired but
+// still pinned (retirement of pinned versions is skipped, so the
+// second case cannot normally arise — it is kept for safety).
+type LiveRoot struct {
+	ID   ID
+	V    Version
+	Root NodeRef
+	Span int64
+}
+
+// LiveRoots returns every live snapshot root across all blobs, in
+// (blob, version) order — the garbage collector's mark roots. One scan
+// RPC to the manager is charged for the whole listing.
+func (vm *VersionManager) LiveRoots(ctx *cluster.Ctx) []LiveRoot {
+	vm.mu.Lock()
+	var out []LiveRoot
+	for id := ID(1); id <= vm.next; id++ {
+		st, ok := vm.blobs[id]
+		if !ok {
+			continue
+		}
+		for v := Version(1); int(v) <= len(st.published); v++ {
+			if st.retired[v] && st.pins[v] == 0 {
+				continue
+			}
+			out = append(out, LiveRoot{ID: id, V: v, Root: st.published[v-1], Span: st.info.Span})
+		}
+	}
+	vm.mu.Unlock()
+	ctx.RPC(vm.node, 16, int64(len(out))*24+16)
+	return out
 }

@@ -144,11 +144,24 @@ func (e *Env) Run(fn func(ctx *cluster.Ctx)) { e.Fab.Run(fn) }
 // measured snapshot cost is shipping the diff, exactly as in the
 // paper's experiment.
 func SnapshotWrites(ctx *cluster.Ctx, disk vmmodel.VirtualDisk, diff int64, runLen int64, rng *sim.RNG) error {
+	return SnapshotWritesIn(ctx, disk, diff, runLen, disk.Size(), rng)
+}
+
+// SnapshotWritesIn is SnapshotWrites confined to the first window
+// bytes of the disk — the churn scenario's hot working set: writes
+// that land on the same spots cycle after cycle are what make old
+// snapshots' chunks unreachable once retention retires them.
+func SnapshotWritesIn(ctx *cluster.Ctx, disk vmmodel.VirtualDisk, diff int64, runLen int64, window int64, rng *sim.RNG) error {
 	if runLen <= 0 {
 		runLen = 256 << 10
 	}
-	size := disk.Size()
-	slots := size / runLen
+	if window <= 0 || window > disk.Size() {
+		window = disk.Size()
+	}
+	slots := window / runLen
+	if slots < 1 {
+		slots = 1
+	}
 	written := int64(0)
 	for written < diff {
 		l := runLen

@@ -3,13 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"blobvfs/internal/blob"
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/metrics"
 	"blobvfs/internal/middleware"
 	"blobvfs/internal/p2p"
-	"blobvfs/internal/sim"
-	"blobvfs/internal/vmmodel"
 )
 
 // This file implements the flash-crowd scenario §7 of the paper points
@@ -70,57 +67,12 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 		fc.P2P = p2p.DefaultConfig()
 	}
 
-	cfg := cluster.DefaultConfig(fc.Instances + fc.Providers + 1)
-	if p.WriteBuffer > 0 {
-		cfg.WriteBuffer = p.WriteBuffer
-	}
-	fab := cluster.NewSim(cfg)
-	var instNodes, provNodes []cluster.NodeID
-	for i := 0; i < fc.Instances; i++ {
-		instNodes = append(instNodes, cluster.NodeID(i))
-	}
-	for i := 0; i < fc.Providers; i++ {
-		provNodes = append(provNodes, cluster.NodeID(fc.Instances+i))
-	}
-	service := cluster.NodeID(fc.Instances + fc.Providers)
-
-	var backend *middleware.MirrorBackend
-	sys := blob.NewSystem(provNodes, service, p.Replicas)
-	fab.Run(func(ctx *cluster.Ctx) {
-		c := blob.NewClient(sys)
-		id, err := c.Create(ctx, p.ImageSize, p.ChunkSize)
-		if err != nil {
-			panic(err)
-		}
-		v, err := c.WriteFull(ctx, id, 0, 1)
-		if err != nil {
-			panic(err)
-		}
-		backend = middleware.NewMirrorBackend(sys, id, v)
-		if fc.Sharing {
-			backend.Sharing = p2p.NewRegistry(service, fc.P2P)
-		}
-	})
-	fab.ResetTraffic()
-
-	baseOps := p.baseTrace()
-	traceRNG := sim.NewRNG(p.Seed + 1)
-	jitRNG := sim.NewRNG(p.Seed + 2)
-	orch := &middleware.Orchestrator{
-		Backend: backend,
-		Nodes:   instNodes,
-		TraceFor: func(i int) []vmmodel.TraceOp {
-			return vmmodel.WithThinkJitter(baseOps, traceRNG.Fork(), p.Boot.TotalThink)
-		},
-		StartJitter: func(i int) float64 {
-			return jitRNG.Uniform(p.JitterMin, p.JitterMax)
-		},
-	}
+	sp := newSmallPool(p, fc.Instances, fc.Providers, fc.Sharing, fc.P2P)
 
 	var dep *middleware.DeployResult
-	fab.Run(func(ctx *cluster.Ctx) {
+	sp.Fab.Run(func(ctx *cluster.Ctx) {
 		var err error
-		dep, err = orch.Deploy(ctx)
+		dep, err = sp.Orch.Deploy(ctx)
 		if err != nil {
 			panic(err)
 		}
@@ -132,11 +84,11 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 		Sharing:    fc.Sharing,
 		AvgBoot:    metrics.Summarize(dep.BootTimes()).Mean,
 		Completion: dep.Completion,
-		TrafficGB:  float64(fab.NetTraffic()) / 1e9,
+		TrafficGB:  float64(sp.Fab.NetTraffic()) / 1e9,
 	}
-	pt.ProviderReads = sys.Providers.Reads.Load()
-	pt.MaxProviderReads = sys.Providers.MaxNodeReads()
-	if co := backend.Cohort(); co != nil {
+	pt.ProviderReads = sp.Sys.Providers.Reads.Load()
+	pt.MaxProviderReads = sp.Sys.Providers.MaxNodeReads()
+	if co := sp.Backend.Cohort(); co != nil {
 		pt.P2P = co.Stats()
 		pt.PeerReads = pt.P2P.PeerHits
 	}

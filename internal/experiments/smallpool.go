@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/middleware"
+	"blobvfs/internal/p2p"
+	"blobvfs/internal/sim"
+	"blobvfs/internal/vmmodel"
+)
+
+// smallPool is the shared scaffolding of the dedicated-provider-pool
+// scenarios (flash crowd, churn): `instances` compute nodes each
+// hosting one VM, a small `providers` storage pool (unlike the Fig. 4
+// setup, where storage aggregates every compute node's disk), and one
+// service node running the version manager and — with sharing — the
+// p2p tracker. The base image is uploaded during construction and the
+// traffic counter reset, so measurements exclude setup, as in the
+// other experiments.
+type smallPool struct {
+	Fab       *cluster.Sim
+	InstNodes []cluster.NodeID
+	Service   cluster.NodeID
+	Sys       *blob.System
+	Backend   *middleware.MirrorBackend
+	Orch      *middleware.Orchestrator
+}
+
+// newSmallPool builds the scenario. p2pCfg is only consulted when
+// sharing is true.
+func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.Config) *smallPool {
+	cfg := cluster.DefaultConfig(instances + providers + 1)
+	if p.WriteBuffer > 0 {
+		cfg.WriteBuffer = p.WriteBuffer
+	}
+	sp := &smallPool{Fab: cluster.NewSim(cfg)}
+	var provNodes []cluster.NodeID
+	for i := 0; i < instances; i++ {
+		sp.InstNodes = append(sp.InstNodes, cluster.NodeID(i))
+	}
+	for i := 0; i < providers; i++ {
+		provNodes = append(provNodes, cluster.NodeID(instances+i))
+	}
+	sp.Service = cluster.NodeID(instances + providers)
+
+	sp.Sys = blob.NewSystem(provNodes, sp.Service, p.Replicas)
+	sp.Fab.Run(func(ctx *cluster.Ctx) {
+		c := blob.NewClient(sp.Sys)
+		id, err := c.Create(ctx, p.ImageSize, p.ChunkSize)
+		if err != nil {
+			panic(err)
+		}
+		v, err := c.WriteFull(ctx, id, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		sp.Backend = middleware.NewMirrorBackend(sp.Sys, id, v)
+		if sharing {
+			sp.Backend.Sharing = p2p.NewRegistry(sp.Service, p2pCfg)
+		}
+	})
+	sp.Fab.ResetTraffic()
+
+	baseOps := p.baseTrace()
+	traceRNG := sim.NewRNG(p.Seed + 1)
+	jitRNG := sim.NewRNG(p.Seed + 2)
+	sp.Orch = &middleware.Orchestrator{
+		Backend: sp.Backend,
+		Nodes:   sp.InstNodes,
+		TraceFor: func(i int) []vmmodel.TraceOp {
+			return vmmodel.WithThinkJitter(baseOps, traceRNG.Fork(), p.Boot.TotalThink)
+		},
+		StartJitter: func(i int) float64 {
+			return jitRNG.Uniform(p.JitterMin, p.JitterMax)
+		},
+	}
+	return sp
+}

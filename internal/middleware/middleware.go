@@ -144,6 +144,33 @@ func (b *MirrorBackend) OpenOn(ctx *cluster.Ctx, node cluster.NodeID, id blob.ID
 	return b.module(node).Open(ctx, id, v, false)
 }
 
+// RetireOld implements VersionRetirer for the orchestrator's retention
+// policy: it retires every unpinned snapshot of the disk's blob older
+// than the newest keep versions. The version the image currently
+// mirrors is pinned by the mirroring module, so it can never retire
+// out from under the instance even if keep is 1 and later commits have
+// advanced the blob. The base image blob (shared by every instance
+// before its first CLONE) is never touched: retention starts once an
+// instance has its own lineage.
+func (b *MirrorBackend) RetireOld(ctx *cluster.Ctx, disk vmmodel.VirtualDisk, keep int) (int, error) {
+	im, ok := disk.(*mirror.Image)
+	if !ok {
+		return 0, fmt.Errorf("middleware: retention on foreign disk %T", disk)
+	}
+	if keep < 1 {
+		return 0, fmt.Errorf("middleware: retention must keep at least 1 version, got %d", keep)
+	}
+	id := im.BlobID()
+	if id == b.ImageID {
+		return 0, nil // not snapshotted yet; still on the shared base
+	}
+	upTo := im.Version() - blob.Version(keep)
+	if upTo < 1 {
+		return 0, nil
+	}
+	return b.Sys.VM.RetireUpTo(ctx, id, upTo)
+}
+
 // QcowBackend is the qcow2-over-PVFS baseline: the raw base image is
 // striped on PVFS; each instance gets a local qcow2 CoW file backed by
 // it; a snapshot copies the qcow2 file back into PVFS as a new

@@ -3,6 +3,7 @@ package middleware
 import (
 	"fmt"
 
+	"blobvfs/internal/blob"
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/vmmodel"
 )
@@ -46,6 +47,30 @@ type SnapshotResult struct {
 	Times []float64
 	// Completion is the duration until the last snapshot finished.
 	Completion float64
+	// Retired counts snapshot versions retired by the retention policy
+	// in this round (0 when no policy is set).
+	Retired int
+	// GC holds the garbage-collection report of the cycle that ran
+	// after retention (nil when no collector is attached).
+	GC *blob.GCReport
+}
+
+// RetentionPolicy bounds the stored snapshot history per instance:
+// after each multisnapshotting round, only the newest KeepLast
+// versions of every instance's blob stay live; older ones are retired
+// and their exclusively-held storage is reclaimed by the next garbage
+// collection. KeepLast 0 disables retention (versions accumulate, as
+// in the paper's experiments).
+type RetentionPolicy struct {
+	KeepLast int
+}
+
+// VersionRetirer is the optional backend capability the retention
+// policy needs: retiring a disk's old snapshot versions. Only the
+// mirror backend implements it; retention over the baseline backends
+// is a silent no-op, like their other missing lifecycle features.
+type VersionRetirer interface {
+	RetireOld(ctx *cluster.Ctx, disk vmmodel.VirtualDisk, keep int) (int, error)
 }
 
 // Orchestrator drives the deployment/snapshot patterns over a backend.
@@ -62,6 +87,13 @@ type Orchestrator struct {
 	// hypervisor of instance i is launched (models staggered launch
 	// and hypervisor initialization; §3.1.3).
 	StartJitter func(i int) float64
+	// Retention, when KeepLast > 0, retires old snapshot versions after
+	// every SnapshotAll round (backend permitting).
+	Retention RetentionPolicy
+	// Collector, when set, runs one garbage-collection cycle after each
+	// SnapshotAll round's retention, reclaiming the storage the retired
+	// versions held exclusively.
+	Collector *blob.Collector
 }
 
 // Deploy runs the multideployment pattern: the backend's global
@@ -139,6 +171,28 @@ func (o *Orchestrator) SnapshotAll(ctx *cluster.Ctx, instances []*Instance) (*Sn
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Lifecycle epilogue: retention retires versions that fell out of
+	// the keep-last-K window, and the collector reclaims what they held
+	// exclusively. Both run after every instance's snapshot completed,
+	// so the "last K" of each blob is well defined for the round.
+	if o.Retention.KeepLast > 0 {
+		if vr, ok := o.Backend.(VersionRetirer); ok {
+			for _, inst := range instances {
+				n, err := vr.RetireOld(ctx, inst.Disk, o.Retention.KeepLast)
+				if err != nil {
+					return nil, err
+				}
+				res.Retired += n
+			}
+		}
+	}
+	if o.Collector != nil {
+		rep, err := o.Collector.Collect(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.GC = &rep
 	}
 	res.Completion = ctx.Now() - start
 	return res, nil

@@ -58,9 +58,10 @@ type Module struct {
 }
 
 type localState struct {
-	version blob.Version
-	chunks  []chunkState
-	local   []byte
+	version   blob.Version
+	chunks    []chunkState
+	local     []byte
+	announced map[int64]blob.ChunkKey
 }
 
 // chunkState is the local modification manager's record for one chunk:
@@ -154,6 +155,13 @@ func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (
 	if err != nil {
 		return nil, err
 	}
+	// Pin the mirrored snapshot for the image's lifetime: an open image
+	// keeps demand-fetching from (id, v), so retention must not retire
+	// it and the garbage collector must keep its chunks. Opening a
+	// retired (or never published) version fails here.
+	if err := m.client.PinVersion(id, v); err != nil {
+		return nil, err
+	}
 	im := &Image{
 		mod: m, blobID: id, version: v, info: inf, open: true,
 		announced: make(map[int64]blob.ChunkKey),
@@ -170,10 +178,18 @@ func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (
 	if st != nil {
 		im.chunks = st.chunks
 		im.local = st.local
+		if st.announced != nil {
+			// The node is still registered as a holder of everything it
+			// announced before closing (the local mirror file survived),
+			// so the map must survive too: a post-reopen dirtying write
+			// has to retract the stale location record.
+			im.announced = st.announced
+		}
 		// Re-reading the persisted modification metadata costs one
 		// local-disk access.
 		ctx.DiskRead(m.node, int64(len(st.chunks))*16)
 		if real && im.local == nil {
+			m.client.UnpinVersion(id, v)
 			return nil, fmt.Errorf("mirror: image %d was closed synthetic, cannot reopen real", id)
 		}
 		return im, nil
@@ -195,8 +211,8 @@ func (im *Image) Close(ctx *cluster.Ctx) {
 		return
 	}
 	im.open = false
-	id := im.blobID
-	st := &localState{version: im.version, chunks: im.chunks, local: im.local}
+	id, v := im.blobID, im.version
+	st := &localState{version: im.version, chunks: im.chunks, local: im.local, announced: im.announced}
 	n := int64(len(im.chunks)) * 16
 	im.mu.Unlock()
 	// Writing the modification metadata next to the local file.
@@ -204,6 +220,10 @@ func (im *Image) Close(ctx *cluster.Ctx) {
 	im.mod.mu.Lock()
 	im.mod.closed[id] = st
 	im.mod.mu.Unlock()
+	// The mirrored snapshot is no longer held open; it becomes eligible
+	// for retirement and reclamation (a later reopen re-pins it, and
+	// fails cleanly if retention retired it in between).
+	im.mod.client.UnpinVersion(id, v)
 }
 
 // Size returns the image size in bytes.
@@ -602,6 +622,12 @@ func (im *Image) Clone(ctx *cluster.Ctx) error {
 	if err != nil {
 		return err
 	}
+	// Move the image's open-pin to the clone's first version before
+	// releasing the source snapshot.
+	if err := im.mod.client.PinVersion(clone, 1); err != nil {
+		return err
+	}
+	im.mod.client.UnpinVersion(id, v)
 	im.mu.Lock()
 	im.blobID = clone
 	im.version = 1
@@ -677,6 +703,13 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 	if err != nil {
 		return 0, err
 	}
+	// The image now mirrors the freshly published snapshot; move its
+	// open-pin from the base to the new version. The new version is
+	// the blob's latest, so the pin cannot fail.
+	if err := im.mod.client.PinVersion(id, v); err != nil {
+		return 0, err
+	}
+	im.mod.client.UnpinVersion(id, base)
 	sharing := im.mod.sharer != nil
 	im.mu.Lock()
 	im.version = v

@@ -71,6 +71,7 @@ type Stats struct {
 	Announced    int64 // chunk locations accepted by the tracker
 	Duplicates   int64 // announcements dropped by (member, chunk) dedup
 	Retracted    int64 // locations withdrawn (local copy diverged)
+	Reclaimed    int64 // locations dropped because GC freed the chunk
 	PeerHits     int64 // Locate calls answered with a peer
 	DigestHits   int64 // ... of which served from the local digest
 	Misses       int64 // fell back to providers: no sibling holds it
@@ -146,6 +147,68 @@ func (r *Registry) Cohort(image blob.ID) *Cohort {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.cohorts[image]
+}
+
+// ChunksReclaimed implements blob.ReclaimListener: the garbage
+// collector reports the chunk keys it released, and the tracker drops
+// every location record for them across all cohorts — a reclaimed
+// chunk must not be offered to siblings anymore. The drop is
+// tracker-local (the registry state lives on the tracker node); each
+// affected cohort's members are informed along the control broadcast
+// tree so their digests converge. A Locate in flight during the drop
+// can still steer a reader to a stale holder; the reader's provider
+// fall-back (blob.Client.getChunk) absorbs exactly that race.
+func (r *Registry) ChunksReclaimed(ctx *cluster.Ctx, keys []blob.ChunkKey) {
+	r.mu.Lock()
+	cohorts := make([]*Cohort, 0, len(r.cohorts))
+	for _, co := range r.cohorts {
+		cohorts = append(cohorts, co)
+	}
+	r.mu.Unlock()
+	for _, co := range cohorts {
+		co.dropReclaimed(ctx, keys)
+	}
+}
+
+// dropReclaimed removes every location record of the given keys from
+// the cohort and pushes the withdrawal to the members.
+func (co *Cohort) dropReclaimed(ctx *cluster.Ctx, keys []blob.ChunkKey) {
+	co.mu.Lock()
+	dropped := 0
+	for _, key := range keys {
+		any := len(co.holders[key]) > 0 || len(co.digest[key]) > 0
+		// Clearing held pairs for every member also cancels phase-1
+		// announce reservations still in flight: their phase 2 finds
+		// the pair gone and leaves the freed chunk unpublished.
+		for m := range co.members {
+			if pair := (holderPair{m, key}); co.held[pair] {
+				delete(co.held, pair)
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		delete(co.holders, key)
+		delete(co.digest, key)
+		for i := 0; i < len(co.pending); {
+			if co.pending[i].key == key {
+				co.pending = append(co.pending[:i], co.pending[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		co.stats.Reclaimed++
+		dropped++
+	}
+	var targets []cluster.NodeID
+	if dropped > 0 {
+		targets = append(targets, co.order...)
+	}
+	co.mu.Unlock()
+	if dropped > 0 {
+		co.reg.fromTracker(ctx, targets, int64(dropped)*co.reg.cfg.AnnounceBytes)
+	}
 }
 
 // fromTracker runs a control broadcast rooted at the tracker node,
@@ -248,17 +311,22 @@ func (co *Cohort) Announce(ctx *cluster.Ctx, keys []blob.ChunkKey) {
 	// locations. A pair retracted while the RPC was in flight (held
 	// entry gone again) stays unpublished.
 	co.mu.Lock()
+	digests := co.reg.cfg.DigestEvery > 0
 	for _, pair := range fresh {
 		if !co.held[pair] {
 			continue
 		}
 		co.holders[pair.key] = append(co.holders[pair.key], pair.node)
-		co.pending = append(co.pending, pair)
+		// pending feeds the digest broadcast; with digests disabled it
+		// would only accumulate, so don't collect it at all.
+		if digests {
+			co.pending = append(co.pending, pair)
+		}
 		co.stats.Announced++
 	}
 	var delta []holderPair
 	var pushTargets []cluster.NodeID
-	if co.reg.cfg.DigestEvery > 0 && len(co.pending) >= co.reg.cfg.DigestEvery {
+	if digests && len(co.pending) >= co.reg.cfg.DigestEvery {
 		delta = co.pending
 		co.pending = nil
 		pushTargets = append(pushTargets, co.order...)
