@@ -1,0 +1,33 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make check` locally means a
+# green pipeline.
+
+.PHONY: build test race check fmt vet bench fuzz
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./...
+
+check: vet build race
+
+# bench records the perf trajectory: paper-scale figure regenerations
+# plus the metadata hot-path microbenchmarks, with -cpu 1,8 so lock
+# contention regressions show up. Output lands in bench.txt; compare
+# two runs with `benchstat old.txt new.txt`.
+bench:
+	sh scripts/bench.sh
+
+fuzz:
+	go test -run '^$$' -fuzz FuzzBuildVersion -fuzztime 20s ./internal/blob
+	go test -run '^$$' -fuzz FuzzCollectLeaves -fuzztime 20s ./internal/blob

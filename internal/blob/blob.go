@@ -73,6 +73,11 @@ type TreeNode struct {
 // Leaf reports whether the node is a leaf.
 func (n TreeNode) Leaf() bool { return n.Hi-n.Lo == 1 }
 
+// valid reports whether the node covers a non-empty range. Every
+// stored node does; the zero TreeNode (e.g. a ref a batch fetch could
+// not resolve) does not.
+func (n TreeNode) valid() bool { return n.Hi > n.Lo }
+
 // treeNodeWire is the modeled on-wire size of a metadata node in bytes,
 // used for RPC costing.
 const treeNodeWire = 64

@@ -32,74 +32,219 @@ func NewSystem(providers []cluster.NodeID, vmNode cluster.NodeID, replicas int) 
 // are deterministic.
 const clientParallel = 16
 
+// nodeCacheShards stripes the client's tree-node cache so the
+// clientParallel concurrent fetchers (plus a prefetcher) it feeds
+// never serialize on one mutex. Power of two; refs are sequential, so
+// masking spreads them evenly.
+const nodeCacheShards = 16
+
+type nodeCacheShard struct {
+	mu sync.RWMutex
+	m  map[NodeRef]TreeNode
+}
+
 // Client is a BlobSeer access library instance. Tree nodes and blob
 // geometry are immutable, so the client caches them without any
 // invalidation protocol; this is what makes metadata overhead drop
 // sharply after first access, as in the real system.
+//
+// The caches are built for concurrent readers: the node cache is
+// hash-striped with shared locks on the read path, cold fetches of the
+// same ref are deduplicated through singleflight, and fully resolved
+// [lo,hi) ranges are kept in a per-version extent cache (extents.go)
+// that lets repeated reads of a deployed snapshot skip tree descent
+// entirely.
 type Client struct {
 	sys    *System
 	sharer ChunkSharer // optional p2p chunk source (see sharing.go)
 
-	mu    sync.Mutex
-	nodes map[NodeRef]TreeNode
-	infos map[ID]Info
+	nodeCache [nodeCacheShards]nodeCacheShard
+
+	infoMu sync.RWMutex
+	infos  map[ID]Info
+
+	// Singleflight groups (flight.go): concurrent cold misses on the
+	// same tree node, blob info, or whole-image prefetch share one
+	// fetch instead of each paying the RPC.
+	nodeFlights *flightGroup[NodeRef, TreeNode]
+	infoFlights *flightGroup[ID, Info]
+	prefFlights *flightGroup[extentKey, struct{}]
+
+	extents *extentCache
 }
 
 // NewClient attaches a client to a system.
 func NewClient(sys *System) *Client {
-	return &Client{
-		sys:   sys,
-		nodes: make(map[NodeRef]TreeNode),
-		infos: make(map[ID]Info),
+	c := &Client{
+		sys:         sys,
+		infos:       make(map[ID]Info),
+		nodeFlights: newFlightGroup[NodeRef, TreeNode](),
+		infoFlights: newFlightGroup[ID, Info](),
+		prefFlights: newFlightGroup[extentKey, struct{}](),
+		extents:     newExtentCache(),
 	}
+	for i := range c.nodeCache {
+		c.nodeCache[i].m = make(map[NodeRef]TreeNode)
+	}
+	return c
 }
 
 // System returns the system this client is attached to.
 func (c *Client) System() *System { return c.sys }
 
-// Info returns blob geometry, cached after the first fetch.
+func (c *Client) nodeShard(ref NodeRef) *nodeCacheShard {
+	return &c.nodeCache[uint64(ref)&(nodeCacheShards-1)]
+}
+
+func (c *Client) cachedNode(ref NodeRef) (TreeNode, bool) {
+	sh := c.nodeShard(ref)
+	sh.mu.RLock()
+	n, ok := sh.m[ref]
+	sh.mu.RUnlock()
+	return n, ok
+}
+
+func (c *Client) storeNode(ref NodeRef, n TreeNode) {
+	sh := c.nodeShard(ref)
+	sh.mu.Lock()
+	sh.m[ref] = n
+	sh.mu.Unlock()
+}
+
+// Info returns blob geometry, cached after the first fetch. Concurrent
+// first fetches of the same blob share one RPC.
 func (c *Client) Info(ctx *cluster.Ctx, id ID) (Info, error) {
-	c.mu.Lock()
+	c.infoMu.RLock()
 	inf, ok := c.infos[id]
-	c.mu.Unlock()
+	c.infoMu.RUnlock()
 	if ok {
 		return inf, nil
 	}
-	inf, err := c.sys.VM.Info(ctx, id)
-	if err != nil {
-		return Info{}, err
-	}
-	c.mu.Lock()
-	c.infos[id] = inf
-	c.mu.Unlock()
-	return inf, nil
+	return c.infoFlights.do(ctx, id,
+		func() (Info, bool) {
+			c.infoMu.RLock()
+			inf, ok := c.infos[id]
+			c.infoMu.RUnlock()
+			return inf, ok
+		},
+		func() (Info, error) {
+			inf, err := c.sys.VM.Info(ctx, id)
+			if err == nil {
+				c.infoMu.Lock()
+				c.infos[id] = inf
+				c.infoMu.Unlock()
+			}
+			return inf, err
+		})
 }
 
-// getNode fetches a metadata node through the cache.
+// getNode fetches a metadata node through the cache. Concurrent cold
+// misses on the same ref are coalesced into one RPC.
 func (c *Client) getNode(ctx *cluster.Ctx, ref NodeRef) (TreeNode, error) {
-	c.mu.Lock()
-	n, ok := c.nodes[ref]
-	c.mu.Unlock()
-	if ok {
+	if n, ok := c.cachedNode(ref); ok {
 		return n, nil
 	}
-	n, err := c.sys.Meta.Get(ctx, ref)
-	if err != nil {
-		return TreeNode{}, err
+	return c.nodeFlights.do(ctx, ref,
+		func() (TreeNode, bool) { return c.cachedNode(ref) },
+		func() (TreeNode, error) {
+			n, err := c.sys.Meta.Get(ctx, ref)
+			if err == nil {
+				c.storeNode(ref, n)
+			}
+			return n, err
+		})
+}
+
+// getNodes resolves a batch of refs through the cache: cached refs are
+// free, refs another activity is already fetching are joined, and the
+// remaining cold refs go to the metadata service as one GetBatch (one
+// RPC per distinct home provider). The result is aligned with refs;
+// missing refs produce the same not-found error Get reports.
+func (c *Client) getNodes(ctx *cluster.Ctx, refs []NodeRef) ([]TreeNode, error) {
+	out := make([]TreeNode, len(refs))
+	var missIdx []int
+	for i, ref := range refs {
+		if n, ok := c.cachedNode(ref); ok {
+			out[i] = n
+		} else {
+			missIdx = append(missIdx, i)
+		}
 	}
-	c.mu.Lock()
-	c.nodes[ref] = n
-	c.mu.Unlock()
-	return n, nil
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+
+	// Partition the misses under one group-lock acquisition: flights
+	// this call will lead (mine) vs flights led by another activity
+	// (theirs, joined through their gates after our own batch is out).
+	var mine []NodeRef
+	var mineIdx []int
+	var mineFlights []*flight[TreeNode]
+	var theirIdx []int
+	var theirGates []*cluster.Gate
+	var theirs []*flight[TreeNode]
+	c.nodeFlights.mu.Lock()
+	for _, i := range missIdx {
+		ref := refs[i]
+		if n, ok := c.cachedNode(ref); ok {
+			out[i] = n
+			continue
+		}
+		if f, ok := c.nodeFlights.flights[ref]; ok {
+			theirIdx = append(theirIdx, i)
+			theirGates = append(theirGates, f.follow())
+			theirs = append(theirs, f)
+			continue
+		}
+		f := &flight[TreeNode]{}
+		c.nodeFlights.flights[ref] = f
+		mine = append(mine, ref)
+		mineIdx = append(mineIdx, i)
+		mineFlights = append(mineFlights, f)
+	}
+	c.nodeFlights.mu.Unlock()
+
+	var firstErr error
+	if len(mine) > 0 {
+		nodes := make([]TreeNode, len(mine))
+		err := c.sys.Meta.GetBatchInto(ctx, mine, nodes)
+		for j, ref := range mine {
+			f := mineFlights[j]
+			if err != nil && !nodes[j].valid() {
+				// Only the refs the service actually misses fail; a
+				// flight for a present ref — possibly a subtree shared
+				// with a live version — must not be poisoned by a
+				// sibling lost to a GC race.
+				f.err = notFound("metadata node", ref)
+				if firstErr == nil {
+					firstErr = f.err
+				}
+				continue
+			}
+			f.val = nodes[j]
+			c.storeNode(ref, nodes[j])
+			out[mineIdx[j]] = nodes[j]
+		}
+		c.nodeFlights.finishAll(ctx, mine, mineFlights)
+	}
+	for j, f := range theirs {
+		theirGates[j].Wait(ctx)
+		if f.err != nil {
+			if firstErr == nil {
+				firstErr = f.err
+			}
+			continue
+		}
+		out[theirIdx[j]] = f.val
+	}
+	return out, firstErr
 }
 
 // cacheNew primes the cache with nodes this client just created.
 func (c *Client) cacheNew(nodes []NewNode) {
-	c.mu.Lock()
 	for _, nn := range nodes {
-		c.nodes[nn.Ref] = nn.Node
+		c.storeNode(nn.Ref, nn.Node)
 	}
-	c.mu.Unlock()
 }
 
 // pendingAllocator returns a node-ref allocator that registers every
@@ -117,12 +262,19 @@ func (c *Client) pendingAllocator() (alloc func() NodeRef, done func()) {
 	return alloc, done
 }
 
+// boundGetter adapts the client's caches to the segment-tree getter
+// interfaces; CollectLeaves detects the BatchGetter side and descends
+// level by level, one batched metadata round per level.
 type boundGetter struct {
 	c   *Client
 	ctx *cluster.Ctx
 }
 
 func (g boundGetter) GetNode(ref NodeRef) (TreeNode, error) { return g.c.getNode(g.ctx, ref) }
+
+func (g boundGetter) GetNodes(refs []NodeRef) ([]TreeNode, error) {
+	return g.c.getNodes(g.ctx, refs)
+}
 
 // Create registers a new blob of the given size and chunk size. The
 // blob has no published versions until the first WriteChunks.
@@ -302,6 +454,110 @@ type FetchedChunk struct {
 	Payload Payload
 }
 
+// resolveLeaves returns the leaf entries covering [lo,hi) of (id, v):
+// from the extent cache when the range was fully resolved before
+// (skipping the root lookup and the whole tree descent — versions are
+// immutable), and by a batched level-order descent otherwise, priming
+// the extent cache for the next reader.
+func (c *Client) resolveLeaves(ctx *cluster.Ctx, id ID, v Version, span, lo, hi int64) ([]LeafEntry, error) {
+	epoch := c.sys.VM.RetireEpoch()
+	if leaves := c.extents.lookup(id, v, lo, hi, epoch, c.sys.VM.IsLive); leaves != nil {
+		return leaves, nil
+	}
+	root, err := c.sys.VM.Root(ctx, id, v)
+	if err != nil {
+		return nil, err
+	}
+	leaves, err := CollectLeaves(boundGetter{c, ctx}, root, span, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	c.extents.insert(id, v, lo, hi, leaves, epoch)
+	return leaves, nil
+}
+
+// leanGetter is the bulk-prefetch variant of boundGetter: cache hits
+// are shared, but cold refs go straight to GetBatch without
+// singleflight registration and without node-cache insertion. A
+// whole-image prefetch resolves every node exactly once into the
+// extent cache — that interval map is the durable product of the
+// descent, and skipping the per-ref bookkeeping (a flight struct and a
+// cache insert per node) keeps the prefetch allocation-light. Inner
+// nodes a later partial descent might want simply refetch.
+type leanGetter struct {
+	c   *Client
+	ctx *cluster.Ctx
+}
+
+func (g leanGetter) GetNode(ref NodeRef) (TreeNode, error) { return g.c.getNode(g.ctx, ref) }
+
+func (g leanGetter) GetNodes(refs []NodeRef) ([]TreeNode, error) {
+	out := make([]TreeNode, len(refs))
+	var missIdx []int
+	var misses []NodeRef
+	for i, ref := range refs {
+		if n, ok := g.c.cachedNode(ref); ok {
+			out[i] = n
+		} else {
+			missIdx = append(missIdx, i)
+			misses = append(misses, ref)
+		}
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	if len(misses) == len(refs) {
+		// Nothing cached (the normal case mid-prefetch): resolve
+		// straight into the aligned result, one allocation per level.
+		if err := g.c.sys.Meta.GetBatchInto(g.ctx, refs, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	nodes, err := g.c.sys.Meta.GetBatch(g.ctx, misses)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i] = nodes[j]
+	}
+	return out, nil
+}
+
+// PrefetchExtents resolves the complete chunk map of snapshot (id, v)
+// — every leaf of its segment tree — in one batched level-order
+// descent, priming the extent cache. Total metadata for even a large
+// image is small (a 2 GB image at 256 KB chunks is ~16 K nodes of 64
+// bytes, ~1 MB), so a long-lived reader such as the mirroring module
+// pays depth rounds once at open and every subsequent
+// ReadAt/FetchChunks over the snapshot skips tree descent entirely.
+func (c *Client) PrefetchExtents(ctx *cluster.Ctx, id ID, v Version) error {
+	inf, err := c.Info(ctx, id)
+	if err != nil {
+		return err
+	}
+	epoch := c.sys.VM.RetireEpoch()
+	if leaves := c.extents.lookup(id, v, 0, inf.Chunks(), epoch, c.sys.VM.IsLive); leaves != nil {
+		return nil
+	}
+	// Whole-image descents are the most expensive metadata operation a
+	// client performs, so concurrent prefetches of the same snapshot
+	// (two instances opening one image on a node) share one flight.
+	_, err = c.prefFlights.do(ctx, extentKey{id, v}, nil, func() (struct{}, error) {
+		root, err := c.sys.VM.Root(ctx, id, v)
+		if err != nil {
+			return struct{}{}, err
+		}
+		leaves, err := CollectLeaves(leanGetter{c, ctx}, root, inf.Span, 0, inf.Chunks())
+		if err != nil {
+			return struct{}{}, err
+		}
+		c.extents.insert(id, v, 0, inf.Chunks(), leaves, epoch)
+		return struct{}{}, nil
+	})
+	return err
+}
+
 // FetchChunks retrieves the chunks covering indices [lo,hi) of (id,v),
 // fetching distinct chunks in parallel. Each chunk comes from a cohort
 // peer when the client has a ChunkSharer and a peer holds it, and from
@@ -316,19 +572,17 @@ func (c *Client) FetchChunks(ctx *cluster.Ctx, id ID, v Version, lo, hi int64) (
 	if lo < 0 || hi > nchunks || lo > hi {
 		return nil, fmt.Errorf("blob: chunk range [%d,%d) outside blob of %d chunks", lo, hi, nchunks)
 	}
-	root, err := c.sys.VM.Root(ctx, id, v)
-	if err != nil {
-		return nil, err
-	}
-	leaves, err := CollectLeaves(boundGetter{c, ctx}, root, inf.Span, lo, hi)
+	// Empty ranges flow through resolution too: the version-existence
+	// check (extent-cache liveness or VM.Root) must not be skipped.
+	leaves, err := c.resolveLeaves(ctx, id, v, inf.Span, lo, hi)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]FetchedChunk, len(leaves))
 	// Fetch each distinct key once; duplicate keys (shared chunks at
 	// multiple indices) reuse the first fetch.
-	firstAt := make(map[ChunkKey]int)
-	var fetchIdx []int
+	firstAt := make(map[ChunkKey]int, len(leaves))
+	fetchIdx := make([]int, 0, len(leaves))
 	for i, lf := range leaves {
 		out[i] = FetchedChunk{Index: lf.Index, Key: lf.Chunk}
 		if lf.Chunk == 0 {
@@ -380,8 +634,8 @@ func (c *Client) ReadAt(ctx *cluster.Ctx, id ID, v Version, buf []byte, off int6
 	}
 	for _, fc := range chunks {
 		cstart := fc.Index * cs
-		from := max64(off, cstart)
-		to := min64(end, cstart+cs)
+		from := max(off, cstart)
+		to := min(end, cstart+cs)
 		dst := buf[from-off : to-off]
 		if fc.Payload.Real() {
 			src := fc.Payload.Data
@@ -455,8 +709,8 @@ func (c *Client) WriteAt(ctx *cluster.Ctx, id ID, base Version, buf []byte, off 
 			copy(data, old)
 		}
 		cstart := ci * cs
-		from := max64(off, cstart)
-		to := min64(end, cstart+int64(clen))
+		from := max(off, cstart)
+		to := min(end, cstart+int64(clen))
 		copy(data[from-cstart:to-cstart], buf[from-off:to-off])
 		writes = append(writes, ChunkWrite{Index: ci, Payload: RealPayload(data)})
 	}

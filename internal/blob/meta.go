@@ -7,21 +7,39 @@ import (
 	"blobvfs/internal/cluster"
 )
 
+// metaShards stripes the node store so concurrent readers (the 16-way
+// parallel fetchers of every client, times the number of clients in a
+// deployment) do not serialize on one map mutex. Power of two; node
+// refs are allocated sequentially, so masking spreads them evenly.
+const metaShards = 16
+
+type metaShard struct {
+	mu    sync.RWMutex
+	nodes map[NodeRef]TreeNode
+}
+
 // MetaService is the distributed metadata store: immutable segment-tree
 // nodes spread over a set of metadata provider nodes by reference hash,
 // as in BlobSeer's metadata DHT. Because nodes are immutable, clients
 // cache them freely (see Client); the service itself never invalidates.
+//
+// The in-memory store is hash-striped (metaShards segments, RWMutex
+// each): nodes are written once and read many times, so the hot read
+// path takes only a shared lock on one stripe.
 type MetaService struct {
 	providers []cluster.NodeID
 	nextRef   atomic.Uint64
 
-	mu      sync.Mutex
-	nodes   map[NodeRef]TreeNode
+	shards [metaShards]metaShard
+
+	pendMu  sync.Mutex
 	pending map[NodeRef]bool // refs of in-flight, unpublished versions
 
-	// Puts and Gets count service operations (after batching); Freed
-	// counts tree nodes reclaimed by garbage-collection sweeps.
-	Puts, Gets, Freed atomic.Int64
+	// Puts and Gets count service operations (after batching);
+	// NodesServed counts individual tree nodes returned by Get/GetBatch
+	// (so Gets/NodesServed exposes the batching factor); Freed counts
+	// tree nodes reclaimed by garbage-collection sweeps.
+	Puts, Gets, NodesServed, Freed atomic.Int64
 }
 
 // NewMetaService creates a metadata store over the given provider nodes.
@@ -29,11 +47,18 @@ func NewMetaService(providers []cluster.NodeID) *MetaService {
 	if len(providers) == 0 {
 		panic("blob: metadata service needs at least one provider")
 	}
-	return &MetaService{
+	m := &MetaService{
 		providers: providers,
-		nodes:     make(map[NodeRef]TreeNode),
 		pending:   make(map[NodeRef]bool),
 	}
+	for i := range m.shards {
+		m.shards[i].nodes = make(map[NodeRef]TreeNode)
+	}
+	return m
+}
+
+func (m *MetaService) shard(ref NodeRef) *metaShard {
+	return &m.shards[uint64(ref)&(metaShards-1)]
 }
 
 // Home returns the metadata provider responsible for a reference.
@@ -45,13 +70,73 @@ func (m *MetaService) Home(ref NodeRef) cluster.NodeID {
 func (m *MetaService) Get(ctx *cluster.Ctx, ref NodeRef) (TreeNode, error) {
 	ctx.RPC(m.Home(ref), 16, treeNodeWire)
 	m.Gets.Add(1)
-	m.mu.Lock()
-	n, ok := m.nodes[ref]
-	m.mu.Unlock()
+	sh := m.shard(ref)
+	sh.mu.RLock()
+	n, ok := sh.nodes[ref]
+	sh.mu.RUnlock()
 	if !ok {
 		return TreeNode{}, notFound("metadata node", ref)
 	}
+	m.NodesServed.Add(1)
 	return n, nil
+}
+
+// GetBatch fetches many tree nodes at once, grouping the refs by home
+// provider and charging one RPC per distinct provider — the read-side
+// twin of PutBatch, and what turns a client's level-order tree descent
+// into depth rounds instead of node-count round trips. The result is
+// aligned with refs; a ref with no stored node fails the batch with
+// the same not-found error Get returns (the full round is still
+// charged — the providers did the lookups).
+func (m *MetaService) GetBatch(ctx *cluster.Ctx, refs []NodeRef) ([]TreeNode, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	out := make([]TreeNode, len(refs))
+	if err := m.GetBatchInto(ctx, refs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetBatchInto is GetBatch resolving into a caller-provided slice
+// (len(out) must be len(refs)), so tight descent loops can reuse one
+// buffer per level instead of allocating twice. On a missing-ref
+// error the found refs are still filled in (their out entries are
+// valid()); missing ones stay the zero TreeNode.
+func (m *MetaService) GetBatchInto(ctx *cluster.Ctx, refs []NodeRef, out []TreeNode) error {
+	// Per-ring-position request counts (refs map to providers by
+	// modulo, so the position IS the provider): one small slice
+	// instead of a map per descent level.
+	counts := make([]int64, len(m.providers))
+	for _, ref := range refs {
+		counts[uint64(ref)%uint64(len(m.providers))]++
+	}
+	// Charge per-provider batches in deterministic (provider ring) order.
+	for pi, prov := range m.providers {
+		if c := counts[pi]; c > 0 {
+			ctx.RPC(prov, c*16, c*treeNodeWire)
+			m.Gets.Add(1)
+		}
+	}
+	var missing error
+	served := int64(0)
+	for i, ref := range refs {
+		sh := m.shard(ref)
+		sh.mu.RLock()
+		n, ok := sh.nodes[ref]
+		sh.mu.RUnlock()
+		if !ok {
+			if missing == nil {
+				missing = notFound("metadata node", ref)
+			}
+			continue
+		}
+		out[i] = n
+		served++
+	}
+	m.NodesServed.Add(served)
+	return missing
 }
 
 // PutBatch stores freshly built nodes, batching the RPCs per provider
@@ -72,11 +157,12 @@ func (m *MetaService) PutBatch(ctx *cluster.Ctx, nodes []NewNode) {
 			m.Puts.Add(1)
 		}
 	}
-	m.mu.Lock()
 	for _, nn := range nodes {
-		m.nodes[nn.Ref] = nn.Node
+		sh := m.shard(nn.Ref)
+		sh.mu.Lock()
+		sh.nodes[nn.Ref] = nn.Node
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 }
 
 // RefWatermark returns the highest node reference allocated so far.
@@ -95,27 +181,27 @@ func (m *MetaService) RefWatermark() NodeRef {
 // (or abort). See ProviderSet.AllocPendingKey for the
 // snapshot-atomicity argument.
 func (m *MetaService) AllocPendingRef() NodeRef {
-	m.mu.Lock()
+	m.pendMu.Lock()
 	ref := NodeRef(m.nextRef.Add(1))
 	m.pending[ref] = true
-	m.mu.Unlock()
+	m.pendMu.Unlock()
 	return ref
 }
 
 // ClearPending removes the in-flight mark from refs (idempotent).
 func (m *MetaService) ClearPending(refs []NodeRef) {
-	m.mu.Lock()
+	m.pendMu.Lock()
 	for _, r := range refs {
 		delete(m.pending, r)
 	}
-	m.mu.Unlock()
+	m.pendMu.Unlock()
 }
 
 // PendingSnapshot atomically samples the ref watermark and the set of
 // in-flight refs, taken at the start of a collection cycle.
 func (m *MetaService) PendingSnapshot() (NodeRef, map[NodeRef]bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.pendMu.Lock()
+	defer m.pendMu.Unlock()
 	wm := NodeRef(m.nextRef.Load())
 	pending := make(map[NodeRef]bool, len(m.pending))
 	for r := range m.pending {
@@ -132,14 +218,17 @@ func (m *MetaService) PendingSnapshot() (NodeRef, map[NodeRef]bool) {
 // snapshot root.
 func (m *MetaService) Sweep(ctx *cluster.Ctx, upTo NodeRef, live, pending map[NodeRef]bool) int {
 	counts := make(map[cluster.NodeID]int64)
-	m.mu.Lock()
-	for ref := range m.nodes {
-		if ref <= upTo && !live[ref] && !pending[ref] {
-			delete(m.nodes, ref)
-			counts[m.Home(ref)]++
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for ref := range sh.nodes {
+			if ref <= upTo && !live[ref] && !pending[ref] {
+				delete(sh.nodes, ref)
+				counts[m.Home(ref)]++
+			}
 		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	freed := 0
 	for _, prov := range m.providers {
 		if c := counts[prov]; c > 0 {
@@ -153,16 +242,22 @@ func (m *MetaService) Sweep(ctx *cluster.Ctx, upTo NodeRef, live, pending map[No
 
 // NodeCount returns the number of stored tree nodes (metadata footprint).
 func (m *MetaService) NodeCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.nodes)
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		total += len(sh.nodes)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // peek returns a node without charging any cost; used by in-process
 // verification and tests.
 func (m *MetaService) peek(ref NodeRef) (TreeNode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n, ok := m.nodes[ref]
+	sh := m.shard(ref)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	n, ok := sh.nodes[ref]
 	return n, ok
 }

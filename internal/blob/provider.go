@@ -26,7 +26,13 @@ type ProviderSet struct {
 	dedup    bool
 	nextKey  atomic.Uint64
 
-	mu       sync.Mutex
+	// mu guards the chunk/dedup/refcount maps. It is a RWMutex so the
+	// hot fetch path (Get/Peek: two map lookups) runs under a shared
+	// lock and the 16-way parallel fetchers of every client in a
+	// deployment stop serializing here; writers (Put, Release) take the
+	// exclusive side. Liveness flags and per-provider read counters are
+	// atomics preallocated per node, off the lock entirely.
+	mu       sync.RWMutex
 	chunks   map[ChunkKey]Payload
 	byPrint  map[uint64]ChunkKey // content fingerprint → canonical key
 	printOf  map[ChunkKey]uint64 // canonical key → its fingerprint
@@ -34,8 +40,9 @@ type ProviderSet struct {
 	aliases  map[ChunkKey]ChunkKey
 	retained map[ChunkKey]bool // keys Put and not yet Released
 	pending  map[ChunkKey]bool // keys of in-flight, unpublished commits
-	alive    map[cluster.NodeID]bool
-	readsBy  map[cluster.NodeID]int64 // chunk reads served, per provider
+
+	alive   map[cluster.NodeID]*atomic.Bool  // provider liveness flags
+	readsBy map[cluster.NodeID]*atomic.Int64 // chunk reads served, per provider
 
 	// Reads and Writes count chunk-level operations; DedupHits counts
 	// Puts absorbed by an existing identical chunk. Reclaimed and
@@ -53,9 +60,12 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 	if replicas < 1 || replicas > len(nodes) {
 		panic(fmt.Sprintf("blob: replication degree %d invalid for %d providers", replicas, len(nodes)))
 	}
-	alive := make(map[cluster.NodeID]bool, len(nodes))
+	alive := make(map[cluster.NodeID]*atomic.Bool, len(nodes))
+	readsBy := make(map[cluster.NodeID]*atomic.Int64, len(nodes))
 	for _, n := range nodes {
-		alive[n] = true
+		alive[n] = &atomic.Bool{}
+		alive[n].Store(true)
+		readsBy[n] = &atomic.Int64{}
 	}
 	return &ProviderSet{
 		nodes:    nodes,
@@ -68,7 +78,7 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 		retained: make(map[ChunkKey]bool),
 		pending:  make(map[ChunkKey]bool),
 		alive:    alive,
-		readsBy:  make(map[cluster.NodeID]int64),
+		readsBy:  readsBy,
 	}
 }
 
@@ -136,8 +146,8 @@ func (ps *ProviderSet) ClearPending(keys []ChunkKey) {
 // pending at the snapshot (exempt) or its commit had already
 // published (so the mark phase reaches it through the version's root).
 func (ps *ProviderSet) PendingSnapshot() (ChunkKey, map[ChunkKey]bool) {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
 	wm := ChunkKey(ps.nextKey.Load())
 	pending := make(map[ChunkKey]bool, len(ps.pending))
 	for k := range ps.pending {
@@ -161,22 +171,21 @@ func (ps *ProviderSet) Replicas(key ChunkKey) []cluster.NodeID {
 // Kill marks a provider as failed: it stops serving reads and accepting
 // writes. Data already replicated elsewhere stays readable.
 func (ps *ProviderSet) Kill(node cluster.NodeID) {
-	ps.mu.Lock()
-	ps.alive[node] = false
-	ps.mu.Unlock()
+	if a, ok := ps.alive[node]; ok {
+		a.Store(false)
+	}
 }
 
 // Revive brings a failed provider back (it serves its old chunks again).
 func (ps *ProviderSet) Revive(node cluster.NodeID) {
-	ps.mu.Lock()
-	ps.alive[node] = true
-	ps.mu.Unlock()
+	if a, ok := ps.alive[node]; ok {
+		a.Store(true)
+	}
 }
 
 func (ps *ProviderSet) isAlive(node cluster.NodeID) bool {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	return ps.alive[node]
+	a, ok := ps.alive[node]
+	return ok && a.Load()
 }
 
 // Put stores a payload under key on all replicas, charging the chunk
@@ -237,12 +246,12 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 // failover. Aliased (deduplicated) keys resolve to their canonical
 // chunk, whose home provider serves the read.
 func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
-	ps.mu.Lock()
+	ps.mu.RLock()
 	if canon, ok := ps.aliases[key]; ok {
 		key = canon
 	}
 	p, ok := ps.chunks[key]
-	ps.mu.Unlock()
+	ps.mu.RUnlock()
 	if !ok {
 		return Payload{}, notFound("chunk", key)
 	}
@@ -259,9 +268,7 @@ func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 	ctx.DiskRead(prov, int64(p.Size))
 	ctx.RPC(prov, 32, int64(p.Size))
 	ps.Reads.Add(1)
-	ps.mu.Lock()
-	ps.readsBy[prov]++
-	ps.mu.Unlock()
+	ps.readsBy[prov].Add(1)
 	return p, nil
 }
 
@@ -270,8 +277,8 @@ func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 // sharing layer uses to serve a chunk from a peer's local mirror: the
 // payload bytes are authoritative, only the costs move to the peer.
 func (ps *ProviderSet) Peek(key ChunkKey) (Payload, bool) {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
 	if canon, ok := ps.aliases[key]; ok {
 		key = canon
 	}
@@ -282,32 +289,30 @@ func (ps *ProviderSet) Peek(key ChunkKey) (Payload, bool) {
 // NodeReads returns a copy of the per-provider chunk-read counters —
 // the distribution whose maximum is the hot-spot a flash crowd builds.
 func (ps *ProviderSet) NodeReads() map[cluster.NodeID]int64 {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
 	out := make(map[cluster.NodeID]int64, len(ps.readsBy))
 	for n, r := range ps.readsBy {
-		out[n] = r
+		if v := r.Load(); v > 0 {
+			out[n] = v
+		}
 	}
 	return out
 }
 
 // MaxNodeReads returns the chunk reads served by the busiest provider.
 func (ps *ProviderSet) MaxNodeReads() int64 {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	var max int64
+	var most int64
 	for _, r := range ps.readsBy {
-		if r > max {
-			max = r
+		if v := r.Load(); v > most {
+			most = v
 		}
 	}
-	return max
+	return most
 }
 
 // ChunkCount returns the number of distinct chunks stored.
 func (ps *ProviderSet) ChunkCount() int {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
 	return len(ps.chunks)
 }
 
@@ -325,8 +330,8 @@ func (ps *ProviderSet) KeyWatermark() ChunkKey {
 // dedup aliases. This is the sweep candidate set; keys absent from it
 // were already released (their content may live on through aliases).
 func (ps *ProviderSet) RetainedKeys(upTo ChunkKey) []ChunkKey {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
 	out := make([]ChunkKey, 0, len(ps.retained))
 	for k := range ps.retained {
 		if k <= upTo {
@@ -392,8 +397,8 @@ func (ps *ProviderSet) Release(ctx *cluster.Ctx, keys []ChunkKey) (released []Ch
 // key: the canonical chunk's count for aliases, the key's own count
 // otherwise. Zero means the content is gone.
 func (ps *ProviderSet) RefCount(key ChunkKey) int64 {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
 	if canon, ok := ps.aliases[key]; ok {
 		key = canon
 	}
@@ -403,8 +408,8 @@ func (ps *ProviderSet) RefCount(key ChunkKey) int64 {
 // StoredBytes returns the total payload bytes stored (one copy counted
 // per chunk; multiply by the replication degree for raw usage).
 func (ps *ProviderSet) StoredBytes() int64 {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
 	var total int64
 	for _, p := range ps.chunks {
 		total += int64(p.Size)

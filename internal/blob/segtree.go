@@ -14,6 +14,17 @@ type Getter interface {
 	GetNode(ref NodeRef) (TreeNode, error)
 }
 
+// BatchGetter is a Getter that can resolve many references in one
+// round. CollectLeaves uses it to fetch a whole tree level at once —
+// depth rounds of metadata access instead of one round per node. The
+// result is aligned with refs (result[i] resolves refs[i]); a ref that
+// cannot be resolved makes GetNodes return the same error GetNode
+// would.
+type BatchGetter interface {
+	Getter
+	GetNodes(refs []NodeRef) ([]TreeNode, error)
+}
+
 // GetterFunc adapts a function to the Getter interface.
 type GetterFunc func(ref NodeRef) (TreeNode, error)
 
@@ -31,42 +42,81 @@ type LeafEntry struct {
 // chunk index in [lo,hi), in index order. Sparse subtrees (ref 0)
 // produce entries with Chunk 0. The root covering span [0,span) may
 // itself be 0 for a completely empty tree.
+//
+// The walk is a level-order frontier descent: every node of one tree
+// level that overlaps [lo,hi) is resolved in a single round. With a
+// BatchGetter a round is one GetNodes call — so resolving a range
+// costs depth rounds of metadata access instead of one round trip per
+// node, which is what keeps the distributed metadata scheme off the
+// critical path under concurrent deployment. A plain Getter degrades
+// to one GetNode per frontier node in deterministic left-to-right
+// order.
 func CollectLeaves(g Getter, root NodeRef, span, lo, hi int64) ([]LeafEntry, error) {
 	if lo < 0 || hi > span || lo > hi {
 		return nil, fmt.Errorf("blob: leaf range [%d,%d) outside span %d", lo, hi, span)
 	}
-	out := make([]LeafEntry, 0, hi-lo)
-	var walk func(ref NodeRef, nlo, nhi int64) error
-	walk = func(ref NodeRef, nlo, nhi int64) error {
-		if nhi <= lo || nlo >= hi {
-			return nil
-		}
-		if ref == 0 {
-			from, to := max64(nlo, lo), min64(nhi, hi)
-			for i := from; i < to; i++ {
-				out = append(out, LeafEntry{Index: i})
-			}
-			return nil
-		}
-		n, err := g.GetNode(ref)
-		if err != nil {
-			return err
-		}
-		if n.Lo != nlo || n.Hi != nhi {
-			return fmt.Errorf("blob: tree corruption: node %d covers [%d,%d), expected [%d,%d)", ref, n.Lo, n.Hi, nlo, nhi)
-		}
-		if n.Leaf() {
-			out = append(out, LeafEntry{Index: n.Lo, Chunk: n.Chunk})
-			return nil
-		}
-		mid := (nlo + nhi) / 2
-		if err := walk(n.Left, nlo, mid); err != nil {
-			return err
-		}
-		return walk(n.Right, mid, nhi)
+	// Every index in [lo,hi) is covered exactly once (by a leaf or by a
+	// sparse subtree), so the result is preallocated from span math and
+	// entries are placed at Index-lo. Sparse indices keep Chunk 0.
+	out := make([]LeafEntry, hi-lo)
+	for i := range out {
+		out[i].Index = lo + int64(i)
 	}
-	if err := walk(root, 0, span); err != nil {
-		return nil, err
+
+	type frame struct {
+		ref      NodeRef
+		nlo, nhi int64
+	}
+	bg, batched := g.(BatchGetter)
+	frontier := make([]frame, 0, 2)
+	push := func(fs []frame, ref NodeRef, nlo, nhi int64) []frame {
+		if nhi <= lo || nlo >= hi || ref == 0 {
+			// Outside the range, or a sparse subtree: its indices keep
+			// the zero Chunk already in place.
+			return fs
+		}
+		return append(fs, frame{ref, nlo, nhi})
+	}
+	frontier = push(frontier, root, 0, span)
+	var next []frame
+	var refs []NodeRef
+	var nodes []TreeNode
+	for len(frontier) > 0 {
+		if batched {
+			refs = refs[:0]
+			for _, fr := range frontier {
+				refs = append(refs, fr.ref)
+			}
+			var err error
+			nodes, err = bg.GetNodes(refs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		next = next[:0]
+		for fi, fr := range frontier {
+			var n TreeNode
+			if batched {
+				n = nodes[fi]
+			} else {
+				var err error
+				n, err = g.GetNode(fr.ref)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if n.Lo != fr.nlo || n.Hi != fr.nhi {
+				return nil, fmt.Errorf("blob: tree corruption: node %d covers [%d,%d), expected [%d,%d)", fr.ref, n.Lo, n.Hi, fr.nlo, fr.nhi)
+			}
+			if n.Leaf() {
+				out[n.Lo-lo].Chunk = n.Chunk
+				continue
+			}
+			mid := (fr.nlo + fr.nhi) / 2
+			next = push(next, n.Left, fr.nlo, mid)
+			next = push(next, n.Right, mid, fr.nhi)
+		}
+		frontier, next = next, frontier
 	}
 	return out, nil
 }
@@ -98,10 +148,10 @@ func BuildVersion(g Getter, oldRoot NodeRef, span int64, dirty []DirtyLeaf, allo
 	}
 	for i, d := range dirty {
 		if d.Index < 0 || d.Index >= span {
-			return nil2(), nil, fmt.Errorf("blob: dirty index %d outside span %d", d.Index, span)
+			return 0, nil, fmt.Errorf("blob: dirty index %d outside span %d", d.Index, span)
 		}
 		if i > 0 && dirty[i-1].Index >= d.Index {
-			return nil2(), nil, fmt.Errorf("blob: dirty indices not sorted/unique at %d", i)
+			return 0, nil, fmt.Errorf("blob: dirty indices not sorted/unique at %d", i)
 		}
 	}
 	var created []NewNode
@@ -208,20 +258,4 @@ func WalkReachable(g Getter, root NodeRef, span int64, visitNode func(NodeRef) b
 		return walk(n.Right, mid, nhi)
 	}
 	return walk(root, 0, span)
-}
-
-func nil2() NodeRef { return 0 }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

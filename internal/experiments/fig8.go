@@ -169,7 +169,7 @@ func resumeInstance(cc *cluster.Ctx, env *Env, inst *middleware.Instance, node c
 		if err != nil {
 			return err
 		}
-		if err := f.ReadAt(cc, nil, 0, min64(p.MonteCarlo.SaveBytes, f.Size())); err != nil {
+		if err := f.ReadAt(cc, nil, 0, min(p.MonteCarlo.SaveBytes, f.Size())); err != nil {
 			return err
 		}
 	}
@@ -196,13 +196,6 @@ func (r *Fig8Result) Table() *metrics.Table {
 	row(Uninterrupted)
 	row(SuspendResume)
 	return t
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 var _ = blob.ID(0) // blob types appear via mirror.Image in resume paths

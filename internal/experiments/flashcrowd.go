@@ -48,6 +48,8 @@ type FlashCrowdPoint struct {
 	ProviderReads    int64 // chunk reads served by the provider pool
 	MaxProviderReads int64 // ... by its hottest member (the hot-spot)
 	PeerReads        int64 // chunk reads served by cohort peers
+	MetaGets         int64 // metadata service operations (after batching)
+	MetaNodes        int64 // tree nodes served (MetaNodes/MetaGets = batching factor)
 	P2P              p2p.Stats
 }
 
@@ -68,6 +70,7 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 	}
 
 	sp := newSmallPool(p, fc.Instances, fc.Providers, fc.Sharing, fc.P2P)
+	gets0, nodes0 := sp.Sys.Meta.Gets.Load(), sp.Sys.Meta.NodesServed.Load()
 
 	var dep *middleware.DeployResult
 	sp.Fab.Run(func(ctx *cluster.Ctx) {
@@ -88,6 +91,8 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 	}
 	pt.ProviderReads = sp.Sys.Providers.Reads.Load()
 	pt.MaxProviderReads = sp.Sys.Providers.MaxNodeReads()
+	pt.MetaGets = sp.Sys.Meta.Gets.Load() - gets0
+	pt.MetaNodes = sp.Sys.Meta.NodesServed.Load() - nodes0
 	if co := sp.Backend.Cohort(); co != nil {
 		pt.P2P = co.Stats()
 		pt.PeerReads = pt.P2P.PeerHits

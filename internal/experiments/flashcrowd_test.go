@@ -65,6 +65,30 @@ func TestFlashCrowd256(t *testing.T) {
 	}
 }
 
+// TestFlashCrowdMetadataBatching: the metadata read path must resolve
+// trees in batched rounds, not one service operation per node — the
+// "metadata must not become the bottleneck" property. With level-order
+// descent and the open-time extent prefetch, the whole deployment's
+// service-operation count stays a small multiple of the per-level
+// provider fan-out instead of scaling with tree-node count.
+func TestFlashCrowdMetadataBatching(t *testing.T) {
+	p := Quick()
+	pt := RunFlashCrowd(p, FlashCrowdConfig{Instances: 48, Providers: 4})
+	if pt.MetaGets == 0 || pt.MetaNodes == 0 {
+		t.Fatalf("no metadata traffic recorded: %+v", pt)
+	}
+	factor := float64(pt.MetaNodes) / float64(pt.MetaGets)
+	if factor < 8 {
+		t.Errorf("metadata batching factor = %.1f (%d nodes / %d ops), want >= 8",
+			factor, pt.MetaNodes, pt.MetaGets)
+	}
+	// Roughly depth rounds per provider per instance: span 1024 is
+	// depth 10, 4 providers → well under 64 service ops per instance.
+	if perInst := pt.MetaGets / int64(pt.Instances); perInst > 64 {
+		t.Errorf("metadata ops per instance = %d, want <= 64 (depth-bounded rounds)", perInst)
+	}
+}
+
 // TestFlashCrowdDeterministic: the scenario is bit-for-bit repeatable,
 // p2p layer included.
 func TestFlashCrowdDeterministic(t *testing.T) {

@@ -84,7 +84,10 @@ type Registry struct {
 	tracker cluster.NodeID
 	cfg     Config
 
-	mu      sync.Mutex
+	// mu is an RWMutex: cohort lookup sits on every module's fetch
+	// path, while registration and reclamation are rare, so readers
+	// share the lock.
+	mu      sync.RWMutex
 	cohorts map[blob.ID]*Cohort
 }
 
@@ -144,8 +147,8 @@ func (r *Registry) Register(ctx *cluster.Ctx, image blob.ID, members []cluster.N
 
 // Cohort returns the cohort registered for an image, or nil.
 func (r *Registry) Cohort(image blob.ID) *Cohort {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.cohorts[image]
 }
 
@@ -159,12 +162,12 @@ func (r *Registry) Cohort(image blob.ID) *Cohort {
 // can still steer a reader to a stale holder; the reader's provider
 // fall-back (blob.Client.getChunk) absorbs exactly that race.
 func (r *Registry) ChunksReclaimed(ctx *cluster.Ctx, keys []blob.ChunkKey) {
-	r.mu.Lock()
+	r.mu.RLock()
 	cohorts := make([]*Cohort, 0, len(r.cohorts))
 	for _, co := range r.cohorts {
 		cohorts = append(cohorts, co)
 	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	for _, co := range cohorts {
 		co.dropReclaimed(ctx, keys)
 	}

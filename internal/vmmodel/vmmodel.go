@@ -150,7 +150,7 @@ func GenBootTrace(rng *sim.RNG, cfg BootConfig) []TraceOp {
 	// Sprinkle small writes at random positions inside touched extents.
 	for i := 0; i < cfg.WriteOps; i++ {
 		e := exts[rng.Intn(len(exts))]
-		off := e.off + rng.Int63n(max64(1, e.len))
+		off := e.off + rng.Int63n(max(1, e.len))
 		l := cfg.WriteLen
 		if off+l > cfg.ImageSize {
 			l = cfg.ImageSize - off
@@ -241,11 +241,4 @@ func SortOpsByOffset(ops []TraceOp) []TraceOp {
 	out := append([]TraceOp(nil), ops...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
 	return out
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# bench.sh runs the repository's key benchmarks — the paper-scale
+# figure regenerations plus the metadata hot-path microbenchmarks —
+# with allocation reporting, and writes the raw output to bench.txt
+# (the artifact CI uploads, and the input `benchstat old.txt new.txt`
+# compares across commits).
+#
+# Usage: scripts/bench.sh [output-file]
+set -eu
+
+out="${1:-bench.txt}"
+
+go test -run '^$' \
+  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
+  -benchmem -count=1 -cpu 1,8 -timeout 30m . | tee "$out"
