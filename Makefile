@@ -1,8 +1,9 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml), so a green `make check` locally means a
-# green pipeline.
+# green pipeline — except the staticcheck job, which needs the tool
+# installed (see the staticcheck target below).
 
-.PHONY: build test race check fmt vet bench fuzz
+.PHONY: build test race check fmt vet bench fuzz examples staticcheck
 
 build:
 	go build ./...
@@ -19,7 +20,26 @@ fmt:
 vet:
 	go vet ./...
 
+# race already executes the examples once via the root package's
+# TestExamplesBuildAndRun smoke, so check does not repeat them.
 check: vet build race
+
+# examples builds and runs every examples/* program — executable
+# documentation of the public blobvfs API. Each must exit cleanly.
+examples:
+	go build ./examples/...
+	go run ./examples/quickstart
+	go run ./examples/debugclone
+	go run ./examples/webfarm -servers 4 -requests 50
+	go run ./examples/multideploy -n 8
+
+# staticcheck keeps the public façade lint-clean. The tool is not
+# vendored; install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not installed; go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
+	staticcheck ./...
 
 # bench records the perf trajectory: paper-scale figure regenerations
 # plus the metadata hot-path microbenchmarks, with -cpu 1,8 so lock

@@ -9,7 +9,7 @@
 // paper plots. Benchmarks default to the scaled-down Quick parameter
 // set so the full suite stays fast; the *PaperScale benchmarks run the
 // flagship 110-instance configuration with the full 2 GB image.
-package bench
+package blobvfs_test
 
 import (
 	"testing"

@@ -1,0 +1,91 @@
+// Package blobvfs is the public façade of the repository: a versioned
+// virtual file system for VM images, reproducing the HPDC'11 design of
+// a BlobSeer-backed image store with per-node lazy mirroring
+// (multideployment) and CLONE+COMMIT snapshotting (multisnapshotting).
+//
+// It is the single supported API. Everything underneath —
+// internal/blob (the versioning chunk store), internal/mirror (the
+// mirroring module), internal/p2p (cohort chunk sharing) — is wired
+// together here and must not be imported directly; see docs/api.md for
+// the surface and the migration table from the old internal wiring.
+//
+// # Model
+//
+// A Repo is an image repository deployed over a cluster Fabric: the
+// provider nodes' local disks store fixed-size chunks, a version
+// manager publishes immutable snapshots in total order, and segment
+// trees shared across versions (shadowing) and lineages (cloning) make
+// both COMMIT and CLONE metadata-cheap. Every Snapshot names one
+// immutable image: a lineage (ImageID) and a version within it.
+//
+// A Disk is a snapshot mirrored on one node as the raw file a
+// hypervisor would mount: reads fetch missing chunks lazily from the
+// repository (or from cohort peers, with WithP2P), writes stay local
+// until Commit publishes them as a new snapshot. Disks adapt to the
+// standard library's io interfaces through Disk.IO.
+//
+// All cost-bearing operations take a *Ctx from the fabric the repo was
+// opened on: a live fabric (real goroutines, real bytes, zero cost)
+// for production-style use and tests, or the calibrated discrete-event
+// simulation for the paper's experiments.
+//
+// # A minimal session
+//
+//	fab := blobvfs.NewLiveCluster(8)
+//	repo, err := blobvfs.Open(fab, blobvfs.WithChunkSize(256<<10))
+//	...
+//	fab.Run(func(ctx *blobvfs.Ctx) {
+//		base, _ := repo.Create(ctx, "debian", imageBytes)
+//		disk, _ := repo.OpenDisk(ctx, ctx.Node(), base)
+//		disk.WriteAt(ctx, patch, off)            // local modification
+//		snap, _ := repo.Snapshot(ctx, disk, true) // CLONE+COMMIT → own lineage
+//		repo.Tag("debian-configured", snap)
+//		disk.Close(ctx)
+//	})
+//
+// Failures carry typed sentinels (ErrNotFound, ErrOutOfRange,
+// ErrVersionRetired, ...) wrapped with %w, so callers branch with
+// errors.Is end-to-end through the façade.
+package blobvfs
+
+import (
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/mirror"
+	"blobvfs/internal/p2p"
+)
+
+// Aliases re-export the types that cross the façade boundary, so
+// callers import only this package.
+type (
+	// Fabric is the cluster substrate a Repo deploys on (live or
+	// simulated).
+	Fabric = cluster.Fabric
+	// Ctx is the context of one activity on a fabric; every
+	// cost-bearing call takes one.
+	Ctx = cluster.Ctx
+	// NodeID numbers the cluster's nodes from 0.
+	NodeID = cluster.NodeID
+	// Task joins an activity spawned with Ctx.Go.
+	Task = cluster.Task
+	// LiveCluster is the zero-cost in-process fabric.
+	LiveCluster = cluster.Live
+
+	// ImageID identifies an image lineage.
+	ImageID = blob.ID
+	// Version is a 1-based snapshot number within a lineage.
+	Version = blob.Version
+
+	// DiskStats is an open disk's access accounting.
+	DiskStats = mirror.Stats
+	// GCReport summarizes one garbage-collection cycle.
+	GCReport = blob.GCReport
+	// P2PConfig carries the cohort sharing protocol constants.
+	P2PConfig = p2p.Config
+	// P2PStats is a sharing cohort's hit/traffic accounting.
+	P2PStats = p2p.Stats
+)
+
+// NewLiveCluster creates an in-process cluster of n nodes: real
+// goroutines, real bytes, zero modeled cost.
+func NewLiveCluster(nodes int) *LiveCluster { return cluster.NewLive(nodes) }

@@ -1,0 +1,97 @@
+package blobvfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"blobvfs"
+)
+
+// ExampleRepo_Create uploads a raw image into the repository and tags
+// it by name.
+func ExampleRepo_Create() {
+	fab := blobvfs.NewLiveCluster(4)
+	repo, err := blobvfs.Open(fab, blobvfs.WithChunkSize(64<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		image := make([]byte, 256<<10)
+		base, err := repo.Create(ctx, "debian", image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size, _ := repo.Size(ctx, base)
+		fmt.Printf("image %d v%d, %d KB in %d chunks\n",
+			base.Image, base.Version, size>>10, size/(64<<10))
+	})
+	// Output:
+	// image 1 v1, 256 KB in 4 chunks
+}
+
+// ExampleRepo_OpenDisk mirrors a snapshot on a compute node; content
+// arrives lazily, so only the chunks actually read are fetched.
+func ExampleRepo_OpenDisk() {
+	fab := blobvfs.NewLiveCluster(4)
+	repo, err := blobvfs.Open(fab, blobvfs.WithChunkSize(64<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		base, err := repo.Create(ctx, "debian", make([]byte, 1<<20))
+		if err != nil {
+			log.Fatal(err)
+		}
+		task := ctx.Go("vm", 2, func(cc *blobvfs.Ctx) {
+			disk, err := repo.OpenDisk(cc, 2, base)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer disk.Close(cc)
+			// Read the "boot sector": one chunk of sixteen is fetched.
+			if _, err := disk.ReadAt(cc, make([]byte, 512), 0); err != nil {
+				log.Fatal(err)
+			}
+			st := disk.Stats()
+			fmt.Printf("%d of %d chunks fetched on demand\n",
+				st.RemoteChunkFetches, disk.Size()/(64<<10))
+		})
+		ctx.Wait(task)
+	})
+	// Output:
+	// 1 of 16 chunks fetched on demand
+}
+
+// ExampleDisk_Commit publishes a disk's local modifications as a new
+// snapshot of its lineage; unmodified chunks are shared with the base
+// version (shadowing), so only the dirty chunk is stored.
+func ExampleDisk_Commit() {
+	fab := blobvfs.NewLiveCluster(4)
+	repo, err := blobvfs.Open(fab, blobvfs.WithChunkSize(64<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		base, err := repo.Create(ctx, "debian", make([]byte, 512<<10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		disk, err := repo.OpenDisk(ctx, ctx.Node(), base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer disk.Close(ctx)
+		if _, err := disk.WriteAt(ctx, []byte("local change"), 100<<10); err != nil {
+			log.Fatal(err)
+		}
+		snap, err := disk.Commit(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published v%d: %d chunk committed, %d shared\n",
+			snap.Version, disk.Stats().CommittedChunks,
+			disk.Size()/(64<<10)-disk.Stats().CommittedChunks)
+	})
+	// Output:
+	// published v2: 1 chunk committed, 7 shared
+}

@@ -19,8 +19,7 @@ import (
 	"fmt"
 	"log"
 
-	"blobvfs/internal/cluster"
-	"blobvfs/internal/core"
+	"blobvfs"
 )
 
 const (
@@ -31,27 +30,23 @@ const (
 
 // runStage1 simulates the long first phase of the application: it
 // produces state the later phase depends on.
-func runStage1(ctx *cluster.Ctx, img interface {
-	WriteAt(*cluster.Ctx, []byte, int64) (int, error)
-}) error {
+func runStage1(ctx *blobvfs.Ctx, disk *blobvfs.Disk) error {
 	state := []byte("expensive-intermediate-state")
-	_, err := img.WriteAt(ctx, state, stateOff)
+	_, err := disk.WriteAt(ctx, state, stateOff)
 	return err
 }
 
 // runStage2 is the phase that crashes when the config block is bad.
-func runStage2(ctx *cluster.Ctx, img interface {
-	ReadAt(*cluster.Ctx, []byte, int64) (int, error)
-}) error {
+func runStage2(ctx *blobvfs.Ctx, disk *blobvfs.Disk) error {
 	cfg := make([]byte, 8)
-	if _, err := img.ReadAt(ctx, cfg, configOff); err != nil {
+	if _, err := disk.ReadAt(ctx, cfg, configOff); err != nil {
 		return err
 	}
 	if string(cfg) != "magic=42" {
 		return fmt.Errorf("stage 2 crashed: bad config %q", cfg)
 	}
 	state := make([]byte, 28)
-	if _, err := img.ReadAt(ctx, state, stateOff); err != nil {
+	if _, err := disk.ReadAt(ctx, state, stateOff); err != nil {
 		return err
 	}
 	if string(state) != "expensive-intermediate-state" {
@@ -61,34 +56,37 @@ func runStage2(ctx *cluster.Ctx, img interface {
 }
 
 func main() {
-	fab := cluster.NewLive(4)
-	store := core.New(core.Options{Fabric: fab, ChunkSize: 16 << 10})
+	fab := blobvfs.NewLiveCluster(4)
+	repo, err := blobvfs.Open(fab, blobvfs.WithChunkSize(16<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fab.Run(func(ctx *cluster.Ctx) {
+	fab.Run(func(ctx *blobvfs.Ctx) {
 		// Ship an image whose config block is corrupted — the bug.
 		base := make([]byte, imageSize)
 		copy(base[configOff:], "magic=7!") // wrong
-		ref, err := store.UploadBytes(ctx, "app", base)
+		ref, err := repo.Create(ctx, "app", base)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Run stage 1 and snapshot right before the failing stage.
-		img, err := store.Open(ctx, ref, true)
+		disk, err := repo.OpenDisk(ctx, ctx.Node(), ref)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := runStage1(ctx, img); err != nil {
+		if err := runStage1(ctx, disk); err != nil {
 			log.Fatal(err)
 		}
-		preBug, err := store.Snapshot(ctx, img, true)
+		preBug, err := repo.Snapshot(ctx, disk, true)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("checkpoint taken before the bug: blob %d v%d\n", preBug.Blob, preBug.Version)
+		fmt.Printf("checkpoint taken before the bug: image %d v%d\n", preBug.Image, preBug.Version)
 
 		// Confirm the bug reproduces from the checkpoint.
-		if err := runStage2(ctx, img); err != nil {
+		if err := runStage2(ctx, disk); err != nil {
 			fmt.Println("reproduced:", err)
 		} else {
 			log.Fatal("bug did not reproduce?")
@@ -99,11 +97,11 @@ func main() {
 		// three metadata nodes, not three images.
 		fixes := [][]byte{[]byte("magic=41"), []byte("magic=43"), []byte("magic=42")}
 		for i, fix := range fixes {
-			clone, err := store.Clone(ctx, preBug)
+			clone, err := repo.Clone(ctx, preBug)
 			if err != nil {
 				log.Fatal(err)
 			}
-			attempt, err := store.Open(ctx, clone, true)
+			attempt, err := repo.OpenDisk(ctx, ctx.Node(), clone)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -114,15 +112,15 @@ func main() {
 				fmt.Printf("fix %d (%q): still broken: %v\n", i+1, fix, err)
 				continue
 			}
-			fixed, err := store.Snapshot(ctx, attempt, false)
+			fixed, err := attempt.Commit(ctx)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("fix %d (%q): works — published as blob %d v%d; application resumes\n",
-				i+1, fix, fixed.Blob, fixed.Version)
+			fmt.Printf("fix %d (%q): works — published as image %d v%d; application resumes\n",
+				i+1, fix, fixed.Image, fixed.Version)
 			break
 		}
 		fmt.Printf("repository now stores %d chunks for %d logical images\n",
-			store.System().Providers.ChunkCount(), 1+1+len(fixes))
+			repo.Stats().Chunks, 1+1+len(fixes))
 	})
 }

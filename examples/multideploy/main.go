@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"blobvfs/internal/cluster"
+	"blobvfs"
 	"blobvfs/internal/experiments"
 	"blobvfs/internal/metrics"
 )
@@ -40,7 +40,7 @@ func main() {
 		experiments.TaktukPreprop, experiments.QcowOverPVFS, experiments.OurApproach,
 	} {
 		env := experiments.NewEnv(p, *n, a)
-		env.Run(func(ctx *cluster.Ctx) {
+		env.Run(func(ctx *blobvfs.Ctx) {
 			dep, err := env.Orch.Deploy(ctx)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "deploy failed:", err)

@@ -1,8 +1,8 @@
-// Quickstart: the smallest end-to-end tour of the library's public
-// API. It deploys the storage service on an in-process "live" cluster
-// with real bytes, uploads a VM image, mirrors it on a node, makes
-// local modifications, takes a CLONE+COMMIT snapshot, and downloads
-// the snapshot back — verifying shadowing and isolation along the way.
+// Quickstart: the smallest end-to-end tour of the public blobvfs API.
+// It deploys the storage service on an in-process "live" cluster with
+// real bytes, uploads a VM image, mirrors it on a node, makes local
+// modifications, takes a CLONE+COMMIT snapshot, and downloads the
+// snapshot back — verifying shadowing and isolation along the way.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -10,64 +10,69 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
 
-	"blobvfs/internal/cluster"
-	"blobvfs/internal/core"
+	"blobvfs"
 )
 
 func main() {
 	// An 8-node cluster whose local disks form the image repository.
-	fab := cluster.NewLive(8)
-	store := core.New(core.Options{Fabric: fab, ChunkSize: 64 << 10})
+	fab := blobvfs.NewLiveCluster(8)
+	repo, err := blobvfs.Open(fab, blobvfs.WithChunkSize(64<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fab.Run(func(ctx *cluster.Ctx) {
+	fab.Run(func(ctx *blobvfs.Ctx) {
 		// 1. The cloud client uploads a (toy) 4 MB base image.
 		base := make([]byte, 4<<20)
 		for i := range base {
 			base[i] = byte(i % 251)
 		}
-		ref, err := store.UploadBytes(ctx, "debian-base", base)
+		ref, err := repo.Create(ctx, "debian-base", base)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("uploaded %q as blob %d v%d (%d bytes, striped over %d nodes)\n",
-			"debian-base", ref.Blob, ref.Version, len(base), fab.Nodes())
+		fmt.Printf("uploaded %q as image %d v%d (%d bytes, striped over %d nodes)\n",
+			"debian-base", ref.Image, ref.Version, len(base), fab.Nodes())
 
 		// 2. A compute node mirrors the image: the hypervisor sees a
 		// plain raw file; content is fetched lazily on first access.
-		task := ctx.Go("vm", 3, func(cc *cluster.Ctx) {
-			img, err := store.Open(cc, ref, true)
+		task := ctx.Go("vm", 3, func(cc *blobvfs.Ctx) {
+			disk, err := repo.OpenDisk(cc, 3, ref)
 			if err != nil {
 				log.Fatal(err)
 			}
+			// The std-io binding composes with the standard library:
+			// read the boot sector through an io.SectionReader.
 			buf := make([]byte, 512)
-			if _, err := img.ReadAt(cc, buf, 0); err != nil {
+			if _, err := io.ReadFull(io.NewSectionReader(disk.IO(cc), 0, 512), buf); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("boot sector read; %d chunk(s) fetched on demand\n",
-				img.Stats().RemoteChunkFetches)
+				disk.Stats().RemoteChunkFetches)
 
 			// 3. The instance modifies its disk locally.
 			patch := []byte("instance-local configuration data")
-			if _, err := img.WriteAt(cc, patch, 1<<20); err != nil {
+			if _, err := disk.WriteAt(cc, patch, 1<<20); err != nil {
 				log.Fatal(err)
 			}
 
 			// 4. CLONE + COMMIT: the instance's state becomes a fully
 			// independent snapshot that shares all unmodified content.
-			snap, err := store.Snapshot(cc, img, true)
+			snap, err := repo.Snapshot(cc, disk, true)
 			if err != nil {
 				log.Fatal(err)
 			}
-			store.Tag("debian-configured", snap)
-			fmt.Printf("snapshot published as blob %d v%d (committed %d chunk(s), %d shared)\n",
-				snap.Blob, snap.Version, img.Stats().CommittedChunks,
-				int64(len(base)/(64<<10))-img.Stats().CommittedChunks)
+			repo.Tag("debian-configured", snap)
+			fmt.Printf("snapshot published as image %d v%d (committed %d chunk(s), %d shared)\n",
+				snap.Image, snap.Version, disk.Stats().CommittedChunks,
+				int64(len(base)/(64<<10))-disk.Stats().CommittedChunks)
 
 			// 5. Download the snapshot anywhere and verify.
 			got := make([]byte, len(base))
-			if err := store.Download(cc, snap, got); err != nil {
+			if err := repo.Download(cc, snap, got); err != nil {
 				log.Fatal(err)
 			}
 			want := append([]byte(nil), base...)
@@ -75,13 +80,14 @@ func main() {
 			if !bytes.Equal(got, want) {
 				log.Fatal("snapshot contents wrong")
 			}
-			if err := store.Download(cc, ref, got); err != nil {
+			if err := repo.Download(cc, ref, got); err != nil {
 				log.Fatal(err)
 			}
 			if !bytes.Equal(got, base) {
 				log.Fatal("base image was modified — shadowing broken")
 			}
 			fmt.Println("verified: snapshot standalone, base image untouched")
+			disk.Close(cc)
 		})
 		ctx.Wait(task)
 	})

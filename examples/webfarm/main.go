@@ -3,7 +3,9 @@
 // appending request logs and maintaining an object cache inside its
 // VM image, with periodic global snapshots of the whole deployment
 // (checkpointing, §3.2). All instances mirror the same base image;
-// each snapshot stores only that instance's modifications.
+// each snapshot stores only that instance's modifications. At the
+// end, keep-last-K retention retires the older snapshot rounds and a
+// garbage-collection cycle reclaims the storage only they referenced.
 //
 // Run with: go run ./examples/webfarm [-servers 6] [-requests 200]
 package main
@@ -13,9 +15,7 @@ import (
 	"fmt"
 	"log"
 
-	"blobvfs/internal/cluster"
-	"blobvfs/internal/core"
-	"blobvfs/internal/mirror"
+	"blobvfs"
 )
 
 const (
@@ -28,57 +28,63 @@ func main() {
 	servers := flag.Int("servers", 6, "number of web server instances")
 	requests := flag.Int("requests", 200, "requests handled per server")
 	rounds := flag.Int("snapshots", 3, "global snapshot rounds")
+	keep := flag.Int("keep", 1, "keep-last-K retention window applied at the end")
 	flag.Parse()
 
-	fab := cluster.NewLive(*servers)
-	store := core.New(core.Options{Fabric: fab, ChunkSize: 32 << 10})
+	fab := blobvfs.NewLiveCluster(*servers)
+	repo, err := blobvfs.Open(fab,
+		blobvfs.WithChunkSize(32<<10),
+		blobvfs.WithRetention(*keep))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fab.Run(func(ctx *cluster.Ctx) {
+	fab.Run(func(ctx *blobvfs.Ctx) {
 		base := make([]byte, imageSize)
 		copy(base, "web-server-os-image")
-		ref, err := store.UploadBytes(ctx, "webserver", base)
+		ref, err := repo.Create(ctx, "webserver", base)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Launch the farm: one instance per node.
-		images := make([]*mirror.Image, *servers)
-		var boot []cluster.Task
+		disks := make([]*blobvfs.Disk, *servers)
+		var boot []blobvfs.Task
 		for s := 0; s < *servers; s++ {
 			s := s
-			boot = append(boot, ctx.Go("server", cluster.NodeID(s), func(cc *cluster.Ctx) {
-				img, err := store.Open(cc, ref, true)
+			boot = append(boot, ctx.Go("server", blobvfs.NodeID(s), func(cc *blobvfs.Ctx) {
+				disk, err := repo.OpenDisk(cc, blobvfs.NodeID(s), ref)
 				if err != nil {
 					log.Fatal(err)
 				}
-				images[s] = img
+				disks[s] = disk
 			}))
 		}
 		ctx.WaitAll(boot)
 
 		// Serve traffic with periodic global snapshots.
 		for round := 1; round <= *rounds; round++ {
-			var serve []cluster.Task
+			var serve []blobvfs.Task
 			for s := 0; s < *servers; s++ {
 				s := s
-				serve = append(serve, ctx.Go("traffic", cluster.NodeID(s), func(cc *cluster.Ctx) {
-					img := images[s]
+				serve = append(serve, ctx.Go("traffic", blobvfs.NodeID(s), func(cc *blobvfs.Ctx) {
+					disk := disks[s]
 					logPos := int64(logOff)
 					for r := 0; r < *requests; r++ {
 						// Append a log line...
 						line := []byte(fmt.Sprintf("srv%d round%d req%04d GET /item/%d\n", s, round, r, r%17))
-						if _, err := img.WriteAt(cc, line, logPos); err != nil {
+						if _, err := disk.WriteAt(cc, line, logPos); err != nil {
 							log.Fatal(err)
 						}
 						logPos += int64(len(line))
 						// ...update the object cache...
 						entry := []byte(fmt.Sprintf("obj-%02d:v%d", r%13, round))
-						if _, err := img.WriteAt(cc, entry, cacheOff+int64(r%13)*64); err != nil {
+						if _, err := disk.WriteAt(cc, entry, cacheOff+int64(r%13)*64); err != nil {
 							log.Fatal(err)
 						}
 						// ...and read our own cache back (read-your-writes).
 						got := make([]byte, len(entry))
-						if _, err := img.ReadAt(cc, got, cacheOff+int64(r%13)*64); err != nil {
+						if _, err := disk.ReadAt(cc, got, cacheOff+int64(r%13)*64); err != nil {
 							log.Fatal(err)
 						}
 						if string(got) != string(entry) {
@@ -91,28 +97,28 @@ func main() {
 
 			// Global snapshot: CLONE (first round) then COMMIT on every
 			// instance, concurrently — the multisnapshotting pattern.
-			var snap []cluster.Task
+			var snap []blobvfs.Task
 			for s := 0; s < *servers; s++ {
 				s := s
-				snap = append(snap, ctx.Go("snapshot", cluster.NodeID(s), func(cc *cluster.Ctx) {
-					fresh := images[s].BlobID() == ref.Blob
-					r, err := store.Snapshot(cc, images[s], fresh)
+				snap = append(snap, ctx.Go("snapshot", blobvfs.NodeID(s), func(cc *blobvfs.Ctx) {
+					fresh := disks[s].Image() == ref.Image
+					r, err := repo.Snapshot(cc, disks[s], fresh)
 					if err != nil {
 						log.Fatal(err)
 					}
-					store.Tag(fmt.Sprintf("webserver-%d-round-%d", s, round), r)
+					repo.Tag(fmt.Sprintf("webserver-%d-round-%d", s, round), r)
 				}))
 			}
 			ctx.WaitAll(snap)
+			st := repo.Stats()
 			fmt.Printf("round %d: snapshotted %d instances; repository holds %d chunks (%.1f MB) for %d snapshots\n",
-				round, *servers, store.System().Providers.ChunkCount(),
-				float64(store.System().Providers.StoredBytes())/1e6, *servers*round+1)
+				round, *servers, st.Chunks, float64(st.StoredBytes)/1e6, *servers*round+1)
 		}
 
 		// Show per-instance mirroring statistics.
 		var fetches, gapFills, committed int64
-		for _, img := range images {
-			st := img.Stats()
+		for _, disk := range disks {
+			st := disk.Stats()
 			fetches += st.RemoteChunkFetches
 			gapFills += st.GapFills
 			committed += st.CommittedChunks
@@ -121,6 +127,25 @@ func main() {
 			fetches, gapFills, committed)
 		full := int64(*servers*(*rounds))*int64(imageSize)/1e6 + int64(imageSize)/1e6
 		fmt.Printf("naive full-image snapshots would have stored ~%d MB; shadowing stored %.1f MB\n",
-			full, float64(store.System().Providers.StoredBytes())/1e6)
+			full, float64(repo.Stats().StoredBytes)/1e6)
+
+		// Lifecycle epilogue: retire everything older than the newest
+		// keep snapshots of each server (the disks pin what they still
+		// mirror) and reclaim the storage only those rounds referenced.
+		retiredTotal := 0
+		for _, disk := range disks {
+			n, err := repo.RetireOld(ctx, disk, 0) // 0 → the WithRetention default
+			if err != nil {
+				log.Fatal(err)
+			}
+			retiredTotal += n
+		}
+		rep, err := repo.GC(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := repo.Stats()
+		fmt.Printf("retention retired %d old snapshot versions; GC reclaimed %d chunks (%.1f MB) — %d chunks (%.1f MB) remain\n",
+			retiredTotal, rep.FreedChunks, float64(rep.FreedBytes)/1e6, st.Chunks, float64(st.StoredBytes)/1e6)
 	})
 }

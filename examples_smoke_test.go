@@ -1,4 +1,4 @@
-package bench
+package blobvfs_test
 
 import (
 	"context"

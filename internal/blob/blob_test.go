@@ -2,6 +2,7 @@ package blob
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -457,18 +458,13 @@ func TestErrNotFoundMessage(t *testing.T) {
 	if err.Error() != "blob: blob 7 not found" {
 		t.Fatalf("message = %q", err.Error())
 	}
-	var nf *ErrNotFound
-	if !asErr(err, &nf) {
-		t.Fatal("not an *ErrNotFound")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatal("not a *NotFoundError")
 	}
-}
-
-func asErr(err error, target **ErrNotFound) bool {
-	e, ok := err.(*ErrNotFound)
-	if ok {
-		*target = e
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatal("does not unwrap to ErrNotFound")
 	}
-	return ok
 }
 
 func TestSimFabricSmokeTest(t *testing.T) {

@@ -320,7 +320,7 @@ func (c *Client) WriteChunks(ctx *cluster.Ctx, id ID, base Version, writes []Chu
 // uses the keys to retract-track the chunks it announces at COMMIT.
 func (c *Client) WriteChunksKeyed(ctx *cluster.Ctx, id ID, base Version, writes []ChunkWrite) (Version, map[int64]ChunkKey, error) {
 	if len(writes) == 0 {
-		return 0, nil, fmt.Errorf("blob: WriteChunks with no chunks")
+		return 0, nil, fmt.Errorf("blob: WriteChunks with no chunks: %w", ErrInvalidWrite)
 	}
 	inf, err := c.Info(ctx, id)
 	if err != nil {
@@ -332,13 +332,13 @@ func (c *Client) WriteChunksKeyed(ctx *cluster.Ctx, id ID, base Version, writes 
 	nchunks := inf.Chunks()
 	for i, w := range sorted {
 		if w.Index < 0 || w.Index >= nchunks {
-			return 0, nil, fmt.Errorf("blob: chunk index %d outside blob of %d chunks", w.Index, nchunks)
+			return 0, nil, fmt.Errorf("blob: chunk index %d outside blob of %d chunks: %w", w.Index, nchunks, ErrOutOfRange)
 		}
 		if i > 0 && sorted[i-1].Index == w.Index {
-			return 0, nil, fmt.Errorf("blob: duplicate chunk index %d in write set", w.Index)
+			return 0, nil, fmt.Errorf("blob: duplicate chunk index %d: %w", w.Index, ErrInvalidWrite)
 		}
 		if int(w.Payload.Size) > inf.ChunkSize {
-			return 0, nil, fmt.Errorf("blob: payload of %d bytes exceeds chunk size %d", w.Payload.Size, inf.ChunkSize)
+			return 0, nil, fmt.Errorf("blob: payload of %d bytes exceeds chunk size %d: %w", w.Payload.Size, inf.ChunkSize, ErrInvalidWrite)
 		}
 	}
 
@@ -570,7 +570,7 @@ func (c *Client) FetchChunks(ctx *cluster.Ctx, id ID, v Version, lo, hi int64) (
 	}
 	nchunks := inf.Chunks()
 	if lo < 0 || hi > nchunks || lo > hi {
-		return nil, fmt.Errorf("blob: chunk range [%d,%d) outside blob of %d chunks", lo, hi, nchunks)
+		return nil, fmt.Errorf("blob: chunk range [%d,%d) outside blob of %d chunks: %w", lo, hi, nchunks, ErrOutOfRange)
 	}
 	// Empty ranges flow through resolution too: the version-existence
 	// check (extent-cache liveness or VM.Root) must not be skipped.
@@ -625,7 +625,7 @@ func (c *Client) ReadAt(ctx *cluster.Ctx, id ID, v Version, buf []byte, off int6
 	}
 	end := off + int64(len(buf))
 	if off < 0 || end > inf.Size {
-		return fmt.Errorf("blob: read [%d,%d) outside blob size %d", off, end, inf.Size)
+		return fmt.Errorf("blob: read [%d,%d) outside blob size %d: %w", off, end, inf.Size, ErrOutOfRange)
 	}
 	cs := int64(inf.ChunkSize)
 	chunks, err := c.FetchChunks(ctx, id, v, off/cs, (end+cs-1)/cs)
@@ -663,7 +663,7 @@ func (c *Client) ReadAt(ctx *cluster.Ctx, id ID, v Version, buf []byte, off int6
 // initial images; the mirroring module uses WriteChunks directly.
 func (c *Client) WriteAt(ctx *cluster.Ctx, id ID, base Version, buf []byte, off int64) (Version, error) {
 	if len(buf) == 0 {
-		return 0, fmt.Errorf("blob: empty write")
+		return 0, fmt.Errorf("blob: empty write: %w", ErrInvalidWrite)
 	}
 	inf, err := c.Info(ctx, id)
 	if err != nil {
@@ -671,7 +671,7 @@ func (c *Client) WriteAt(ctx *cluster.Ctx, id ID, base Version, buf []byte, off 
 	}
 	end := off + int64(len(buf))
 	if off < 0 || end > inf.Size {
-		return 0, fmt.Errorf("blob: write [%d,%d) outside blob size %d", off, end, inf.Size)
+		return 0, fmt.Errorf("blob: write [%d,%d) outside blob size %d: %w", off, end, inf.Size, ErrOutOfRange)
 	}
 	cs := int64(inf.ChunkSize)
 	loC, hiC := off/cs, (end+cs-1)/cs

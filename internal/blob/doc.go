@@ -1,0 +1,23 @@
+// Package blob reimplements the BlobSeer distributed versioning storage
+// service the paper builds on (Nicolae et al., JPDC 2011): BLOBs are
+// striped into fixed-size chunks distributed over provider nodes, and
+// every version's metadata is a segment tree whose inner nodes may be
+// shared with older versions (shadowing) or with other blobs (cloning),
+// exactly as in Fig. 3 of the paper.
+//
+// The package is organized as BlobSeer itself is:
+//
+//   - providers (provider.go): store chunk payloads on the compute
+//     nodes' local disks, with optional replication;
+//   - metadata providers (meta.go): a distributed store of immutable
+//     segment-tree nodes;
+//   - the version manager (vmanager.go): assigns version numbers and
+//     publishes snapshots in total order per blob;
+//   - the client (client.go): striped reads, atomic multi-chunk writes
+//     (the COMMIT data path), CLONE, and a node cache exploiting tree
+//     immutability.
+//
+// All cost-bearing operations take a *cluster.Ctx, so the same code is
+// exercised at zero cost by unit tests (live fabric) and with full
+// contention modeling by the experiments (sim fabric).
+package blob

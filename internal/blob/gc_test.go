@@ -29,9 +29,8 @@ func TestRetireUnpublishesFromLatest(t *testing.T) {
 		if _, err := sys.VM.Root(ctx, id, v2); err == nil {
 			t.Fatal("Root of retired version resolved")
 		}
-		var nf *ErrNotFound
-		if err := sys.VM.Retire(ctx, id, v2); !errors.As(err, &nf) {
-			t.Fatalf("double Retire = %v, want ErrNotFound", err)
+		if err := sys.VM.Retire(ctx, id, v2); !errors.Is(err, ErrVersionRetired) {
+			t.Fatalf("double Retire = %v, want ErrVersionRetired", err)
 		}
 		if err := sys.VM.Retire(ctx, id, v1); err != nil {
 			t.Fatal(err)
@@ -62,9 +61,9 @@ func TestRetirePinnedFails(t *testing.T) {
 		if err := c.PinVersion(id, v1); err != nil {
 			t.Fatal(err)
 		}
-		var pinned *ErrPinned
+		var pinned *PinnedError
 		if err := sys.VM.Retire(ctx, id, v1); !errors.As(err, &pinned) {
-			t.Fatalf("Retire of pinned = %v, want ErrPinned", err)
+			t.Fatalf("Retire of pinned = %v, want PinnedError", err)
 		}
 		if n, _ := sys.VM.RetireUpTo(ctx, id, v2); n != 1 {
 			t.Fatalf("RetireUpTo retired %d versions, want 1 (v2 only)", n)

@@ -127,7 +127,7 @@ func TestMetaGetBatch(t *testing.T) {
 		// is still charged.
 		m.Gets.Store(0)
 		_, err = m.GetBatch(ctx, []NodeRef{2, 404, 6})
-		var nf *ErrNotFound
+		var nf *NotFoundError
 		if !errors.As(err, &nf) {
 			t.Fatalf("GetBatch with a missing ref: err = %v, want not-found", err)
 		}
@@ -376,9 +376,8 @@ func TestExtentCacheRetirementFlush(t *testing.T) {
 			t.Fatalf("Retire: %v", err)
 		}
 		_, err = c.FetchChunks(ctx, id, v1, 0, 4)
-		var nf *ErrNotFound
-		if !errors.As(err, &nf) {
-			t.Errorf("read of retired cached version: err = %v, want not-found", err)
+		if !errors.Is(err, ErrVersionRetired) {
+			t.Errorf("read of retired cached version: err = %v, want ErrVersionRetired", err)
 		}
 		if _, err := c.FetchChunks(ctx, id, v2, 0, 2); err != nil {
 			t.Errorf("live version after flush: %v", err)

@@ -224,7 +224,7 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 		stored++
 	}
 	if stored == 0 {
-		return fmt.Errorf("blob: no live replica for chunk %d", key)
+		return fmt.Errorf("blob: chunk %d: %w", key, ErrNoReplica)
 	}
 	ps.mu.Lock()
 	if dup {
@@ -263,7 +263,7 @@ func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 		}
 	}
 	if prov < 0 {
-		return Payload{}, fmt.Errorf("blob: no live replica for chunk %d", key)
+		return Payload{}, fmt.Errorf("blob: chunk %d: %w", key, ErrNoReplica)
 	}
 	ctx.DiskRead(prov, int64(p.Size))
 	ctx.RPC(prov, 32, int64(p.Size))

@@ -53,7 +53,7 @@ type LeafEntry struct {
 // order.
 func CollectLeaves(g Getter, root NodeRef, span, lo, hi int64) ([]LeafEntry, error) {
 	if lo < 0 || hi > span || lo > hi {
-		return nil, fmt.Errorf("blob: leaf range [%d,%d) outside span %d", lo, hi, span)
+		return nil, fmt.Errorf("blob: leaf range [%d,%d) outside span %d: %w", lo, hi, span, ErrOutOfRange)
 	}
 	// Every index in [lo,hi) is covered exactly once (by a leaf or by a
 	// sparse subtree), so the result is preallocated from span math and
@@ -106,7 +106,7 @@ func CollectLeaves(g Getter, root NodeRef, span, lo, hi int64) ([]LeafEntry, err
 				}
 			}
 			if n.Lo != fr.nlo || n.Hi != fr.nhi {
-				return nil, fmt.Errorf("blob: tree corruption: node %d covers [%d,%d), expected [%d,%d)", fr.ref, n.Lo, n.Hi, fr.nlo, fr.nhi)
+				return nil, fmt.Errorf("blob: node %d covers [%d,%d), expected [%d,%d): %w", fr.ref, n.Lo, n.Hi, fr.nlo, fr.nhi, ErrCorruptTree)
 			}
 			if n.Leaf() {
 				out[n.Lo-lo].Chunk = n.Chunk
@@ -148,10 +148,10 @@ func BuildVersion(g Getter, oldRoot NodeRef, span int64, dirty []DirtyLeaf, allo
 	}
 	for i, d := range dirty {
 		if d.Index < 0 || d.Index >= span {
-			return 0, nil, fmt.Errorf("blob: dirty index %d outside span %d", d.Index, span)
+			return 0, nil, fmt.Errorf("blob: dirty index %d outside span %d: %w", d.Index, span, ErrOutOfRange)
 		}
 		if i > 0 && dirty[i-1].Index >= d.Index {
-			return 0, nil, fmt.Errorf("blob: dirty indices not sorted/unique at %d", i)
+			return 0, nil, fmt.Errorf("blob: dirty indices not sorted/unique at %d: %w", i, ErrInvalidWrite)
 		}
 	}
 	var created []NewNode
@@ -175,7 +175,7 @@ func BuildVersion(g Getter, oldRoot NodeRef, span int64, dirty []DirtyLeaf, allo
 				return 0, err
 			}
 			if old.Leaf() {
-				return 0, fmt.Errorf("blob: tree corruption: leaf %d at inner range [%d,%d)", oldRef, nlo, nhi)
+				return 0, fmt.Errorf("blob: leaf %d at inner range [%d,%d): %w", oldRef, nlo, nhi, ErrCorruptTree)
 			}
 			oldLeft, oldRight = old.Left, old.Right
 		}
@@ -213,7 +213,7 @@ func CloneRoot(g Getter, srcRoot NodeRef, span int64, alloc func() NodeRef) (Nod
 		return 0, nil, err
 	}
 	if src.Lo != 0 || src.Hi != span {
-		return 0, nil, fmt.Errorf("blob: clone source root covers [%d,%d), want [0,%d)", src.Lo, src.Hi, span)
+		return 0, nil, fmt.Errorf("blob: clone source root covers [%d,%d), want [0,%d): %w", src.Lo, src.Hi, span, ErrCorruptTree)
 	}
 	ref := alloc()
 	n := TreeNode{Lo: 0, Hi: span, Left: src.Left, Right: src.Right, Chunk: src.Chunk}
@@ -243,7 +243,7 @@ func WalkReachable(g Getter, root NodeRef, span int64, visitNode func(NodeRef) b
 			return err
 		}
 		if n.Lo != nlo || n.Hi != nhi {
-			return fmt.Errorf("blob: tree corruption: node %d covers [%d,%d), expected [%d,%d)", ref, n.Lo, n.Hi, nlo, nhi)
+			return fmt.Errorf("blob: node %d covers [%d,%d), expected [%d,%d): %w", ref, n.Lo, n.Hi, nlo, nhi, ErrCorruptTree)
 		}
 		if n.Leaf() {
 			if n.Chunk != 0 {

@@ -54,7 +54,7 @@ func (vm *VersionManager) Node() cluster.NodeID { return vm.node }
 // returns its ID. The blob has no published versions yet.
 func (vm *VersionManager) CreateBlob(ctx *cluster.Ctx, size int64, chunkSize int) (ID, error) {
 	if size < 0 || chunkSize <= 0 {
-		return 0, fmt.Errorf("blob: invalid geometry size=%d chunkSize=%d", size, chunkSize)
+		return 0, fmt.Errorf("blob: geometry size=%d chunkSize=%d: %w", size, chunkSize, ErrOutOfRange)
 	}
 	ctx.RPC(vm.node, 32, 16)
 	vm.mu.Lock()
@@ -105,6 +105,27 @@ func (vm *VersionManager) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
 	return 0, nil
 }
 
+// LiveVersions returns every published version of id that has not been
+// retired, in ascending order (empty if none). One listing RPC is
+// charged for the whole enumeration, before the state is read — the
+// same observation ordering as every other manager operation.
+func (vm *VersionManager) LiveVersions(ctx *cluster.Ctx, id ID) ([]Version, error) {
+	ctx.RPC(vm.node, 16, 64)
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	st, ok := vm.blobs[id]
+	if !ok {
+		return nil, notFound("blob", id)
+	}
+	out := make([]Version, 0, len(st.published))
+	for v := Version(1); int(v) <= len(st.published); v++ {
+		if !st.retired[v] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
 // Root returns the published root of (id, v). A retired version is
 // logically deleted: its root is no longer resolvable, even before the
 // garbage collector has physically reclaimed its storage.
@@ -116,8 +137,11 @@ func (vm *VersionManager) Root(ctx *cluster.Ctx, id ID, v Version) (NodeRef, err
 	if !ok {
 		return 0, notFound("blob", id)
 	}
-	if v < 1 || int(v) > len(st.published) || st.retired[v] {
+	if v < 1 || int(v) > len(st.published) {
 		return 0, notFound("version", fmt.Sprintf("%d@%d", id, v))
+	}
+	if st.retired[v] {
+		return 0, retired(id, v)
 	}
 	return st.published[v-1], nil
 }
@@ -149,11 +173,11 @@ func (vm *VersionManager) Publish(ctx *cluster.Ctx, id ID, v Version, root NodeR
 	}
 	if v < 1 || v > st.tickets {
 		vm.mu.Unlock()
-		return fmt.Errorf("blob: publish of unticketed version %d@%d", id, v)
+		return fmt.Errorf("blob: publish of unticketed version %d@%d: %w", id, v, ErrOutOfRange)
 	}
 	if int(v) <= len(st.published) {
 		vm.mu.Unlock()
-		return fmt.Errorf("blob: version %d@%d already published", id, v)
+		return fmt.Errorf("blob: version %d@%d: %w", id, v, ErrAlreadyPublished)
 	}
 	st.pending[v] = root
 	// Fold any now-contiguous pending versions into the published list.
@@ -200,16 +224,20 @@ func (vm *VersionManager) Published(id ID) int {
 	return len(st.published)
 }
 
-// ErrPinned reports an attempt to retire a version that is still open
-// somewhere (a mirror has it mounted, or a commit is building on it).
-type ErrPinned struct {
+// PinnedError reports an attempt to retire a version that is still
+// open somewhere (a mirror has it mounted, or a commit is building on
+// it). It wraps ErrVersionPinned.
+type PinnedError struct {
 	ID ID
 	V  Version
 }
 
-func (e *ErrPinned) Error() string {
+func (e *PinnedError) Error() string {
 	return fmt.Sprintf("blob: version %d@%d is pinned", e.ID, e.V)
 }
+
+// Unwrap makes errors.Is(err, ErrVersionPinned) true.
+func (e *PinnedError) Unwrap() error { return ErrVersionPinned }
 
 // Pin marks (id, v) as in use: a pinned version cannot be retired, so
 // the garbage collector treats its snapshot as live. Mirrors pin the
@@ -226,8 +254,11 @@ func (vm *VersionManager) Pin(id ID, v Version) error {
 	if !ok {
 		return notFound("blob", id)
 	}
-	if v < 1 || int(v) > len(st.published) || st.retired[v] {
+	if v < 1 || int(v) > len(st.published) {
 		return notFound("version", fmt.Sprintf("%d@%d", id, v))
+	}
+	if st.retired[v] {
+		return retired(id, v)
 	}
 	st.pins[v]++
 	return nil
@@ -262,7 +293,7 @@ func (vm *VersionManager) Pins(id ID, v Version) int {
 // Retire logically deletes version v of blob id: it disappears from
 // Latest and Root immediately; the storage it holds exclusively is
 // reclaimed by the next garbage collection. Retiring a pinned version
-// fails with *ErrPinned — the caller retries after the holder closes.
+// fails with *PinnedError — the caller retries after the holder closes.
 func (vm *VersionManager) Retire(ctx *cluster.Ctx, id ID, v Version) error {
 	ctx.RPC(vm.node, 24, 16)
 	vm.mu.Lock()
@@ -271,11 +302,14 @@ func (vm *VersionManager) Retire(ctx *cluster.Ctx, id ID, v Version) error {
 	if !ok {
 		return notFound("blob", id)
 	}
-	if v < 1 || int(v) > len(st.published) || st.retired[v] {
+	if v < 1 || int(v) > len(st.published) {
 		return notFound("version", fmt.Sprintf("%d@%d", id, v))
 	}
+	if st.retired[v] {
+		return retired(id, v)
+	}
 	if st.pins[v] > 0 {
-		return &ErrPinned{ID: id, V: v}
+		return &PinnedError{ID: id, V: v}
 	}
 	st.retired[v] = true
 	vm.retireEpoch.Add(1)

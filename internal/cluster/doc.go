@@ -1,0 +1,19 @@
+// Package cluster models the IaaS datacenter of the paper's §2.1: a set
+// of commodity nodes, each with a local disk and a full-duplex NIC,
+// interconnected by a non-blocking Ethernet switch.
+//
+// The package's central abstraction is Fabric, the execution substrate
+// the storage stacks run on. Two implementations are provided:
+//
+//   - Live: zero-cost, real goroutines. Every operation completes
+//     immediately in virtual-time terms; data paths still move real
+//     bytes. This is what unit tests and the runnable examples use.
+//
+//   - Sim: a discrete-event simulation calibrated to the paper's
+//     Grid'5000 testbed (117.5 MB/s TCP, 0.1 ms RTT, 55 MB/s disks).
+//     Time costs are charged on shared resources (max-min fair NIC
+//     links, processor-shared disks), which is what reproduces the
+//     contention behaviour of the paper's figures.
+//
+// Storage code is written once against Ctx and runs unchanged on both.
+package cluster

@@ -91,16 +91,16 @@ func RunReplicationAblation(p Params, n int, degrees []int) []ReplicationPoint {
 			}
 			point.Completion = dep.Completion
 		})
-		point.StorageGB = float64(mb.Sys.Providers.StoredBytes()) * float64(r) / 1e9
+		point.StorageGB = float64(mb.Repo.System().Providers.StoredBytes()) * float64(r) / 1e9
 		// Fault injection: kill provider 0, then try to read a window of
 		// the image from a fresh client on another node. With a single
 		// replica, chunks homed on the dead provider are lost.
-		mb.Sys.Providers.Kill(env.Nodes[0])
+		mb.Repo.System().Providers.Kill(env.Nodes[0])
 		point.SurvivesOne = true
 		env.Run(func(ctx *cluster.Ctx) {
 			done := ctx.Go("probe", env.Nodes[1%len(env.Nodes)], func(cc *cluster.Ctx) {
-				c := blob.NewClient(mb.Sys)
-				if _, err := c.FetchChunks(cc, mb.ImageID, mb.ImageV, 0, minI64(256, imageChunks(pr))); err != nil {
+				c := blob.NewClient(mb.Repo.System())
+				if _, err := c.FetchChunks(cc, mb.Base.Image, mb.Base.Version, 0, minI64(256, imageChunks(pr))); err != nil {
 					point.SurvivesOne = false
 				}
 			})

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"blobvfs/internal/blob"
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/metrics"
 	"blobvfs/internal/middleware"
@@ -102,13 +101,11 @@ func RunChurn(p Params, cc ChurnConfig) ChurnPoint {
 
 	sp := newSmallPool(p, cc.Instances, cc.Providers, cc.Sharing, p2p.DefaultConfig())
 	sys := sp.Sys
-	collector := blob.NewCollector(sys)
-	if reg := sp.Backend.Sharing; reg != nil {
-		collector.SetListener(reg)
-	}
 	if cc.KeepLast > 0 {
 		sp.Orch.Retention = middleware.RetentionPolicy{KeepLast: cc.KeepLast}
-		sp.Orch.Collector = collector
+		// The repo's collector retracts reclaimed chunks from the
+		// sharing cohorts when p2p is on.
+		sp.Orch.Collector = sp.Repo.Collector()
 	}
 
 	pt := ChurnPoint{

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"blobvfs/internal/blob"
+	"blobvfs"
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/middleware"
 	"blobvfs/internal/nfs"
@@ -45,13 +45,17 @@ func (a Approach) String() string {
 // which is the contention the paper measures. Setup costs are
 // excluded: the traffic counter is reset and times are deltas.
 type Env struct {
-	P        Params
-	Fab      *cluster.Sim
-	All      []cluster.NodeID // all compute nodes (storage pool)
-	Nodes    []cluster.NodeID // nodes hosting VM instances (first n)
-	Service  cluster.NodeID   // dedicated service node
-	Backend  middleware.Backend
-	Orch     *middleware.Orchestrator
+	P       Params
+	Fab     *cluster.Sim
+	All     []cluster.NodeID // all compute nodes (storage pool)
+	Nodes   []cluster.NodeID // nodes hosting VM instances (first n)
+	Service cluster.NodeID   // dedicated service node
+	Backend middleware.Backend
+	Orch    *middleware.Orchestrator
+	// Repo and Base are set for OurApproach runs (the other backends
+	// have no repository).
+	Repo     *blobvfs.Repo
+	Base     blobvfs.Snapshot
 	baseOps  []vmmodel.TraceOp
 	traceRNG *sim.RNG
 	jitRNG   *sim.RNG
@@ -88,20 +92,27 @@ func NewEnv(p Params, n int, a Approach) *Env {
 		env.Nodes = append(env.Nodes, cluster.NodeID(i))
 	}
 
+	if a == OurApproach {
+		repo, err := blobvfs.Open(fab,
+			blobvfs.WithProviders(env.All...),
+			blobvfs.WithManager(env.Service),
+			blobvfs.WithReplicas(p.Replicas),
+			blobvfs.WithChunkSize(p.ChunkSize))
+		if err != nil {
+			panic(err)
+		}
+		env.Repo = repo
+	}
+
 	fab.Run(func(ctx *cluster.Ctx) {
 		switch a {
 		case OurApproach:
-			sys := blob.NewSystem(env.All, env.Service, p.Replicas)
-			c := blob.NewClient(sys)
-			id, err := c.Create(ctx, p.ImageSize, p.ChunkSize)
+			base, err := env.Repo.CreateSynthetic(ctx, "base", p.ImageSize)
 			if err != nil {
 				panic(err)
 			}
-			v, err := c.WriteFull(ctx, id, 0, 1)
-			if err != nil {
-				panic(err)
-			}
-			env.Backend = middleware.NewMirrorBackend(sys, id, v)
+			env.Base = base
+			env.Backend = middleware.NewMirrorBackend(env.Repo, base)
 		case QcowOverPVFS:
 			fs := pvfs.New(env.All, p.ChunkSize)
 			if _, err := fs.Create(ctx, "base.raw", p.ImageSize, false); err != nil {

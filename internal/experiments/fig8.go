@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"blobvfs/internal/blob"
+	"blobvfs"
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/metrics"
 	"blobvfs/internal/middleware"
-	"blobvfs/internal/mirror"
 	"blobvfs/internal/vmmodel"
 	"blobvfs/internal/workloads"
 )
@@ -130,9 +129,9 @@ func resumeInstance(cc *cluster.Ctx, env *Env, inst *middleware.Instance, node c
 	var disk vmmodel.VirtualDisk
 	switch b := env.Backend.(type) {
 	case *middleware.MirrorBackend:
-		im := inst.Disk.(*mirror.Image)
+		d := inst.Disk.(*blobvfs.Disk)
 		// The committed snapshot is a standalone raw image: mirror it.
-		reopened, err := b.OpenOn(cc, node, im.BlobID(), im.Version())
+		reopened, err := b.OpenOn(cc, node, d.Current())
 		if err != nil {
 			return err
 		}
@@ -197,5 +196,3 @@ func (r *Fig8Result) Table() *metrics.Table {
 	row(SuspendResume)
 	return t
 }
-
-var _ = blob.ID(0) // blob types appear via mirror.Image in resume paths

@@ -93,9 +93,9 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 	pt.MaxProviderReads = sp.Sys.Providers.MaxNodeReads()
 	pt.MetaGets = sp.Sys.Meta.Gets.Load() - gets0
 	pt.MetaNodes = sp.Sys.Meta.NodesServed.Load() - nodes0
-	if co := sp.Backend.Cohort(); co != nil {
-		pt.P2P = co.Stats()
-		pt.PeerReads = pt.P2P.PeerHits
+	if st, ok := sp.Repo.SharingStats(sp.Base.Image); ok {
+		pt.P2P = st
+		pt.PeerReads = st.PeerHits
 	}
 	return pt
 }

@@ -1,10 +1,3 @@
-// Package experiments reproduces every figure of the paper's
-// evaluation (§5) on the simulated cluster: Fig. 4 (multideployment),
-// Fig. 5 (multisnapshotting), Fig. 6/7 (local Bonnie++), Fig. 8
-// (Monte Carlo application). Each RunFigN function regenerates the
-// corresponding figure's data series as a printable table; the
-// per-experiment index in DESIGN.md maps figures to the modules
-// exercised here.
 package experiments
 
 import (

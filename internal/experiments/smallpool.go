@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"blobvfs"
 	"blobvfs/internal/blob"
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/middleware"
@@ -21,6 +22,8 @@ type smallPool struct {
 	Fab       *cluster.Sim
 	InstNodes []cluster.NodeID
 	Service   cluster.NodeID
+	Repo      *blobvfs.Repo
+	Base      blobvfs.Snapshot
 	Sys       *blob.System
 	Backend   *middleware.MirrorBackend
 	Orch      *middleware.Orchestrator
@@ -43,21 +46,28 @@ func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.C
 	}
 	sp.Service = cluster.NodeID(instances + providers)
 
-	sp.Sys = blob.NewSystem(provNodes, sp.Service, p.Replicas)
+	opts := []blobvfs.Option{
+		blobvfs.WithProviders(provNodes...),
+		blobvfs.WithManager(sp.Service),
+		blobvfs.WithReplicas(p.Replicas),
+		blobvfs.WithChunkSize(p.ChunkSize),
+	}
+	if sharing {
+		opts = append(opts, blobvfs.WithP2P(p2pCfg))
+	}
+	repo, err := blobvfs.Open(sp.Fab, opts...)
+	if err != nil {
+		panic(err)
+	}
+	sp.Repo = repo
+	sp.Sys = repo.System()
 	sp.Fab.Run(func(ctx *cluster.Ctx) {
-		c := blob.NewClient(sp.Sys)
-		id, err := c.Create(ctx, p.ImageSize, p.ChunkSize)
+		base, err := repo.CreateSynthetic(ctx, "base", p.ImageSize)
 		if err != nil {
 			panic(err)
 		}
-		v, err := c.WriteFull(ctx, id, 0, 1)
-		if err != nil {
-			panic(err)
-		}
-		sp.Backend = middleware.NewMirrorBackend(sp.Sys, id, v)
-		if sharing {
-			sp.Backend.Sharing = p2p.NewRegistry(sp.Service, p2pCfg)
-		}
+		sp.Base = base
+		sp.Backend = middleware.NewMirrorBackend(repo, base)
 	})
 	sp.Fab.ResetTraffic()
 

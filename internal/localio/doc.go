@@ -1,0 +1,22 @@
+// Package localio models the node-local I/O paths compared in §5.4 of
+// the paper (Fig. 6 and Fig. 7): the hypervisor accessing a raw image
+// file directly, versus accessing it through the FUSE-based mirroring
+// module whose local file is mmap'ed by the module.
+//
+// Both figures measure purely local behaviour (Bonnie++ writes then
+// reads back its own data, so no remote fetches are involved); what
+// differs between the two paths is per-operation software overhead and
+// the write-back strategy:
+//
+//   - the direct path pays the hypervisor's block-layer syscall cost
+//     on every operation and uses the hypervisor's default writeback;
+//   - the mirror path pays an extra user/kernel FUSE crossing on every
+//     operation, but absorbs writes via mmap — the kernel's write-back
+//     runs asynchronously and batches much better, which the paper
+//     measures as roughly doubled write throughput (Fig. 6), while
+//     metadata-ish operations (seeks, create, delete) get slower
+//     (Fig. 7).
+//
+// The model is a virtual-time accumulator, not a DES: Bonnie++ is a
+// single sequential process, so costs simply add.
+package localio

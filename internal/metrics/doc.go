@@ -1,0 +1,4 @@
+// Package metrics provides the small statistics and table-formatting
+// helpers the experiment harness uses to print the paper's figures as
+// text series.
+package metrics

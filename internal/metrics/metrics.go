@@ -1,6 +1,3 @@
-// Package metrics provides the small statistics and table-formatting
-// helpers the experiment harness uses to print the paper's figures as
-// text series.
 package metrics
 
 import (

@@ -1,24 +1,13 @@
-// Package middleware models the cloud middleware layer of Fig. 1 in
-// the paper: it coordinates compute nodes to deploy a set of VM
-// instances from an initial image (multideployment) and to snapshot
-// them concurrently (multisnapshotting), issuing CLONE and COMMIT to
-// the mirroring modules exactly as §3.2 describes.
-//
-// Three interchangeable storage backends implement the Backend
-// interface — the paper's approach and its two baselines — so the
-// experiment harness runs identical deployment logic over all three.
 package middleware
 
 import (
 	"fmt"
 	"sync"
 
-	"blobvfs/internal/blob"
+	"blobvfs"
 	"blobvfs/internal/broadcast"
 	"blobvfs/internal/cluster"
-	"blobvfs/internal/mirror"
 	"blobvfs/internal/nfs"
-	"blobvfs/internal/p2p"
 	"blobvfs/internal/pvfs"
 	"blobvfs/internal/qcow2"
 	"blobvfs/internal/vmmodel"
@@ -42,97 +31,57 @@ type Backend interface {
 }
 
 // MirrorBackend is the paper's approach: lazy mirroring over the
-// versioning blob store, CLONE+COMMIT snapshotting.
+// versioning blob store, CLONE+COMMIT snapshotting. It consumes only
+// the public blobvfs façade — the repository wiring (per-node modules,
+// sharing cohorts, retention primitives) lives behind blobvfs.Repo.
 type MirrorBackend struct {
-	Sys     *blob.System
-	ImageID blob.ID
-	ImageV  blob.Version
-	Cfg     mirror.Config
-
-	// Sharing, when set, enables peer-to-peer chunk sharing: Prepare
-	// registers the deployment's nodes as a cohort for the image, and
-	// every module provisioned afterwards announces the chunks it
-	// mirrors and fetches from cohort peers before the providers.
-	Sharing *p2p.Registry
-
-	mu      sync.Mutex
-	modules map[cluster.NodeID]*mirror.Module
-	cohort  *p2p.Cohort
+	Repo *blobvfs.Repo
+	// Base is the shared image every instance deploys from.
+	Base blobvfs.Snapshot
 }
 
-// NewMirrorBackend creates the backend for a base image already
-// uploaded to sys.
-func NewMirrorBackend(sys *blob.System, id blob.ID, v blob.Version) *MirrorBackend {
-	return &MirrorBackend{
-		Sys:     sys,
-		ImageID: id,
-		ImageV:  v,
-		Cfg:     mirror.DefaultConfig(),
-		modules: make(map[cluster.NodeID]*mirror.Module),
-	}
+// NewMirrorBackend creates the backend for a base image already stored
+// in repo.
+func NewMirrorBackend(repo *blobvfs.Repo, base blobvfs.Snapshot) *MirrorBackend {
+	return &MirrorBackend{Repo: repo, Base: base}
 }
 
 // Name implements Backend.
 func (b *MirrorBackend) Name() string { return "our-approach" }
 
 // Prepare implements Backend: the lazy scheme itself needs no
-// initialization; with sharing enabled the deployment cohort is
-// registered so the nodes can serve each other's demand fetches.
+// initialization; with p2p sharing enabled on the repo, the
+// deployment's nodes are registered as a cohort so they can serve each
+// other's demand fetches (a no-op without WithP2P). A repo carries one
+// cohort, so a refused registration — the slot already belongs to a
+// different image — is an error rather than a silent loss of sharing.
 func (b *MirrorBackend) Prepare(ctx *cluster.Ctx, nodes []cluster.NodeID) error {
-	if b.Sharing != nil {
-		co := b.Sharing.Register(ctx, b.ImageID, nodes)
-		b.mu.Lock()
-		b.cohort = co
-		b.mu.Unlock()
+	if !b.Repo.Share(ctx, b.Base.Image, nodes) && b.Repo.P2PEnabled() {
+		return fmt.Errorf("middleware: repo's sharing cohort already belongs to another image (one p2p deployment per repo; image %d)", b.Base.Image)
 	}
 	return nil
 }
 
-// Cohort returns the sharing cohort registered by Prepare (nil when
-// sharing is disabled or Prepare has not run).
-func (b *MirrorBackend) Cohort() *p2p.Cohort {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.cohort
-}
-
-// module returns (creating on demand) the node's mirroring module.
-// Each module gets its own blob client, hence its own metadata cache —
-// caching is per node, as in the real deployment.
-func (b *MirrorBackend) module(node cluster.NodeID) *mirror.Module {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	m, ok := b.modules[node]
-	if !ok {
-		m = mirror.NewModule(node, blob.NewClient(b.Sys), b.Cfg)
-		if b.cohort != nil {
-			m.SetSharer(b.cohort)
-		}
-		b.modules[node] = m
-	}
-	return m
-}
-
 // Provision implements Backend: expose the snapshot as a local raw
-// file through the node's mirroring module.
+// file through the node's mirroring module. Experiment deployments are
+// synthetic — costs are modeled, no bytes move.
 func (b *MirrorBackend) Provision(ctx *cluster.Ctx, i int, node cluster.NodeID) (vmmodel.VirtualDisk, error) {
-	return b.module(node).Open(ctx, b.ImageID, b.ImageV, false)
+	d, err := b.Repo.OpenDisk(ctx, node, b.Base, blobvfs.Synthetic())
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Snapshot implements Backend: first CLONE (so every instance gets its
 // own lineage), then COMMIT; later snapshots of the same instance only
 // COMMIT, per §3.2.
 func (b *MirrorBackend) Snapshot(ctx *cluster.Ctx, i int, node cluster.NodeID, disk vmmodel.VirtualDisk) error {
-	im, ok := disk.(*mirror.Image)
+	d, ok := disk.(*blobvfs.Disk)
 	if !ok {
 		return fmt.Errorf("middleware: mirror snapshot of foreign disk %T", disk)
 	}
-	if im.BlobID() == b.ImageID {
-		if err := im.Clone(ctx); err != nil {
-			return err
-		}
-	}
-	_, err := im.Commit(ctx)
+	_, err := b.Repo.Snapshot(ctx, d, d.Image() == b.Base.Image)
 	return err
 }
 
@@ -140,35 +89,39 @@ func (b *MirrorBackend) Snapshot(ctx *cluster.Ctx, i int, node cluster.NodeID, d
 // how a terminated instance resumes on a fresh node from the
 // standalone image its CLONE+COMMIT produced (§5.5's suspend/resume
 // setting, and the migration scenario of §3.2).
-func (b *MirrorBackend) OpenOn(ctx *cluster.Ctx, node cluster.NodeID, id blob.ID, v blob.Version) (*mirror.Image, error) {
-	return b.module(node).Open(ctx, id, v, false)
+func (b *MirrorBackend) OpenOn(ctx *cluster.Ctx, node cluster.NodeID, s blobvfs.Snapshot) (*blobvfs.Disk, error) {
+	return b.Repo.OpenDisk(ctx, node, s, blobvfs.Synthetic())
 }
 
 // RetireOld implements VersionRetirer for the orchestrator's retention
-// policy: it retires every unpinned snapshot of the disk's blob older
-// than the newest keep versions. The version the image currently
-// mirrors is pinned by the mirroring module, so it can never retire
+// policy: it retires every unpinned snapshot of the disk's lineage
+// older than the newest keep versions. The version the disk currently
+// mirrors is pinned for as long as it is open, so it can never retire
 // out from under the instance even if keep is 1 and later commits have
-// advanced the blob. The base image blob (shared by every instance
+// advanced the lineage. The base image (shared by every instance
 // before its first CLONE) is never touched: retention starts once an
 // instance has its own lineage.
 func (b *MirrorBackend) RetireOld(ctx *cluster.Ctx, disk vmmodel.VirtualDisk, keep int) (int, error) {
-	im, ok := disk.(*mirror.Image)
+	d, ok := disk.(*blobvfs.Disk)
 	if !ok {
 		return 0, fmt.Errorf("middleware: retention on foreign disk %T", disk)
 	}
 	if keep < 1 {
 		return 0, fmt.Errorf("middleware: retention must keep at least 1 version, got %d", keep)
 	}
-	id := im.BlobID()
-	if id == b.ImageID {
+	if d.Image() == b.Base.Image {
 		return 0, nil // not snapshotted yet; still on the shared base
 	}
-	upTo := im.Version() - blob.Version(keep)
+	// The backend knows every non-base lineage is privately owned by
+	// its instance (CLONE+COMMIT created it), so it uses the raw
+	// primitive: retention must keep working on a disk that was
+	// resumed directly onto its own lineage (OpenOn), which the
+	// façade's forked-lineage guard in RetireOld would exempt.
+	upTo := d.Version() - blobvfs.Version(keep)
 	if upTo < 1 {
 		return 0, nil
 	}
-	return b.Sys.VM.RetireUpTo(ctx, id, upTo)
+	return b.Repo.RetireUpTo(ctx, d.Image(), upTo)
 }
 
 // QcowBackend is the qcow2-over-PVFS baseline: the raw base image is

@@ -3,9 +3,8 @@ package middleware
 import (
 	"testing"
 
-	"blobvfs/internal/blob"
+	"blobvfs"
 	"blobvfs/internal/cluster"
-	"blobvfs/internal/mirror"
 	"blobvfs/internal/nfs"
 	"blobvfs/internal/pvfs"
 	"blobvfs/internal/sim"
@@ -42,22 +41,21 @@ func orchFor(b Backend, nodes []cluster.NodeID, trace []vmmodel.TraceOp) *Orches
 
 func mirrorBackend(t *testing.T, fab *cluster.Sim, nodes []cluster.NodeID) *MirrorBackend {
 	t.Helper()
-	sys := blob.NewSystem(nodes, cluster.NodeID(8), 1)
-	var id blob.ID
-	var v blob.Version
+	repo, err := blobvfs.Open(fab,
+		blobvfs.WithProviders(nodes...),
+		blobvfs.WithManager(cluster.NodeID(8)),
+		blobvfs.WithChunkSize(256<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base blobvfs.Snapshot
 	fab.Run(func(ctx *cluster.Ctx) {
-		c := blob.NewClient(sys)
-		var err error
-		id, err = c.Create(ctx, 64<<20, 256<<10)
-		if err != nil {
-			t.Fatal(err)
-		}
-		v, err = c.WriteFull(ctx, id, 0, 1)
+		base, err = repo.CreateSynthetic(ctx, "base", 64<<20)
 		if err != nil {
 			t.Fatal(err)
 		}
 	})
-	return NewMirrorBackend(sys, id, v)
+	return NewMirrorBackend(repo, base)
 }
 
 func TestMirrorBackendDeployAndSnapshot(t *testing.T) {
@@ -96,18 +94,18 @@ func TestMirrorBackendDeployAndSnapshot(t *testing.T) {
 		}
 		// Each instance must now own its own lineage (CLONE happened),
 		// with one committed version on top of the clone.
-		seen := map[blob.ID]bool{}
+		seen := map[blobvfs.ImageID]bool{}
 		for _, inst := range dep.Instances {
-			im := inst.Disk.(*mirror.Image)
-			if im.BlobID() == b.ImageID {
+			d := inst.Disk.(*blobvfs.Disk)
+			if d.Image() == b.Base.Image {
 				t.Fatal("instance still points at the base image after snapshot")
 			}
-			if seen[im.BlobID()] {
+			if seen[d.Image()] {
 				t.Fatal("two instances share a clone lineage")
 			}
-			seen[im.BlobID()] = true
-			if im.Version() != 2 {
-				t.Fatalf("clone version = %d, want 2 (clone v1 + commit v2)", im.Version())
+			seen[d.Image()] = true
+			if d.Version() != 2 {
+				t.Fatalf("clone version = %d, want 2 (clone v1 + commit v2)", d.Version())
 			}
 		}
 		// A second global snapshot with fresh modifications must not
@@ -118,20 +116,20 @@ func TestMirrorBackendDeployAndSnapshot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lineages := map[int]blob.ID{}
+		lineages := map[int]blobvfs.ImageID{}
 		for _, inst := range dep.Instances {
-			lineages[inst.Index] = inst.Disk.(*mirror.Image).BlobID()
+			lineages[inst.Index] = inst.Disk.(*blobvfs.Disk).Image()
 		}
 		if _, err := orch.SnapshotAll(ctx, dep.Instances); err != nil {
 			t.Fatal(err)
 		}
 		for _, inst := range dep.Instances {
-			im := inst.Disk.(*mirror.Image)
-			if im.BlobID() != lineages[inst.Index] {
+			d := inst.Disk.(*blobvfs.Disk)
+			if d.Image() != lineages[inst.Index] {
 				t.Fatal("second snapshot cloned again")
 			}
-			if im.Version() != 3 {
-				t.Fatalf("second snapshot version = %d, want 3", im.Version())
+			if d.Version() != 3 {
+				t.Fatalf("second snapshot version = %d, want 3", d.Version())
 			}
 		}
 		// A snapshot with no new modifications is a no-op commit.
@@ -139,7 +137,7 @@ func TestMirrorBackendDeployAndSnapshot(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, inst := range dep.Instances {
-			if inst.Disk.(*mirror.Image).Version() != 3 {
+			if inst.Disk.(*blobvfs.Disk).Version() != 3 {
 				t.Fatal("no-op snapshot changed the version")
 			}
 		}
@@ -261,10 +259,10 @@ func TestMirrorBackendOpenOnFreshNode(t *testing.T) {
 		if err := b.Snapshot(ctx, 0, inst.Node, inst.Disk); err != nil {
 			t.Fatal(err)
 		}
-		im := inst.Disk.(*mirror.Image)
+		d := inst.Disk.(*blobvfs.Disk)
 		// Resume the snapshot on a different node (migration, §3.2).
 		done := ctx.Go("resume", nodes[3], func(cc *cluster.Ctx) {
-			re, err := b.OpenOn(cc, nodes[3], im.BlobID(), im.Version())
+			re, err := b.OpenOn(cc, nodes[3], d.Current())
 			if err != nil {
 				t.Errorf("OpenOn: %v", err)
 				return

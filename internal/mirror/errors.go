@@ -1,0 +1,25 @@
+package mirror
+
+import "errors"
+
+// Sentinel errors of the mirroring module. Range violations reuse
+// blob.ErrOutOfRange so a caller can treat "outside the image" and
+// "outside the blob" uniformly through errors.Is; the sentinels below
+// cover the module's own failure modes. All are re-exported by the
+// public blobvfs façade.
+var (
+	// ErrClosed reports an operation on something that has been closed —
+	// a mirrored image here, or the repository handle at the façade
+	// level, which reuses the sentinel. The message is deliberately
+	// neutral; wrap sites name what was closed.
+	ErrClosed = errors.New("closed")
+
+	// ErrWrongNode reports an open attempted from an activity running on
+	// a different node than the module (a mirror is strictly node-local,
+	// like the FUSE mount it models).
+	ErrWrongNode = errors.New("wrong node")
+
+	// ErrSynthetic reports a data-carrying operation on a synthetic
+	// image — one that tracks state and costs but materializes no bytes.
+	ErrSynthetic = errors.New("synthetic image")
+)

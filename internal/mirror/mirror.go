@@ -1,25 +1,3 @@
-// Package mirror implements the paper's core contribution: the
-// mirroring module that exposes a BlobSeer snapshot to the hypervisor
-// as a plain raw image file on the local disk, while lazily fetching
-// content on first access and keeping all modifications local until a
-// snapshot is requested (paper §3.1.2, §3.3, §4.2).
-//
-// In the paper the module is a FUSE file system; here it is a library
-// with the same structure. The R/W translator turns hypervisor reads
-// and writes into local and remote operations; the local modification
-// manager tracks, per chunk, one contiguous mirrored region and one
-// contiguous dirty region, which bounds fragmentation metadata to
-// O(chunks) (strategy 2 of §3.3). Remote reads always fetch the full
-// minimal set of chunks covering the requested range (strategy 1).
-//
-// The control primitives CLONE and COMMIT — ioctls in the paper — are
-// the Image.Clone and Image.Commit methods.
-//
-// When the module is attached to a peer-to-peer sharing cohort
-// (SetSharer), an image announces every chunk it mirrors — demand
-// fetch, prefetch or commit — so cohort siblings can fetch it from
-// this node instead of the providers, and retracts chunks whose local
-// copy diverges from the published content (guest writes).
 package mirror
 
 import (
@@ -157,7 +135,7 @@ type Image struct {
 // actual data; synthetic images only track state and costs.
 func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (*Image, error) {
 	if ctx.Node() != m.node {
-		return nil, fmt.Errorf("mirror: open from node %d on module of node %d", ctx.Node(), m.node)
+		return nil, fmt.Errorf("mirror: open from node %d on module of node %d: %w", ctx.Node(), m.node, ErrWrongNode)
 	}
 	inf, err := m.client.Info(ctx, id)
 	if err != nil {
@@ -204,7 +182,7 @@ func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (
 		ctx.DiskRead(m.node, int64(len(st.chunks))*16)
 		if real && im.local == nil {
 			m.client.UnpinVersion(id, v)
-			return nil, fmt.Errorf("mirror: image %d was closed synthetic, cannot reopen real", id)
+			return nil, fmt.Errorf("mirror: image %d was closed synthetic, cannot reopen real: %w", id, ErrSynthetic)
 		}
 		return im, nil
 	}
@@ -320,7 +298,7 @@ func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) er
 	im.mu.Lock()
 	if !im.open {
 		im.mu.Unlock()
-		return fmt.Errorf("mirror: access on closed image")
+		return fmt.Errorf("mirror: access: %w", ErrClosed)
 	}
 	if n == 0 {
 		im.mu.Unlock()
@@ -328,11 +306,11 @@ func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) er
 	}
 	if off < 0 || off+n > im.info.Size {
 		im.mu.Unlock()
-		return fmt.Errorf("mirror: access [%d,%d) outside image size %d", off, off+n, im.info.Size)
+		return fmt.Errorf("mirror: access [%d,%d) outside image size %d: %w", off, off+n, im.info.Size, blob.ErrOutOfRange)
 	}
 	if p != nil && im.local == nil {
 		im.mu.Unlock()
-		return fmt.Errorf("mirror: data access on synthetic image")
+		return fmt.Errorf("mirror: data access: %w", ErrSynthetic)
 	}
 	if write {
 		im.stats.Writes++
@@ -602,11 +580,11 @@ func (im *Image) Prefetch(ctx *cluster.Ctx, profile []int64) error {
 		im.mu.Lock()
 		if !im.open {
 			im.mu.Unlock()
-			return fmt.Errorf("mirror: prefetch on closed image")
+			return fmt.Errorf("mirror: prefetch: %w", ErrClosed)
 		}
 		if ci < 0 || ci >= int64(len(im.chunks)) {
 			im.mu.Unlock()
-			return fmt.Errorf("mirror: prefetch chunk %d outside image", ci)
+			return fmt.Errorf("mirror: prefetch chunk %d outside image: %w", ci, blob.ErrOutOfRange)
 		}
 		skip := im.fullyMirroredLocked(ci) || im.inflight[ci] > 0
 		im.mu.Unlock()
@@ -628,7 +606,7 @@ func (im *Image) Clone(ctx *cluster.Ctx) error {
 	im.mu.Lock()
 	if !im.open {
 		im.mu.Unlock()
-		return fmt.Errorf("mirror: clone on closed image")
+		return fmt.Errorf("mirror: clone: %w", ErrClosed)
 	}
 	id, v := im.blobID, im.version
 	im.mu.Unlock()
@@ -662,7 +640,7 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 	im.mu.Lock()
 	if !im.open {
 		im.mu.Unlock()
-		return 0, fmt.Errorf("mirror: commit on closed image")
+		return 0, fmt.Errorf("mirror: commit: %w", ErrClosed)
 	}
 	id, base := im.blobID, im.version
 	var dirtyIdx []int64

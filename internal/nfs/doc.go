@@ -1,0 +1,5 @@
+// Package nfs models the centralized repository of the prepropagation
+// baseline (§5.2): a single file server with one disk and one NIC,
+// from which initial VM images are broadcast. It deliberately has no
+// striping and no versioning — that is the point of the baseline.
+package nfs

@@ -1,43 +1,3 @@
-// Package p2p implements peer-to-peer chunk sharing for concurrent
-// multideployment — the scaling direction §7 of the paper names as
-// avoiding provider hot-spots when N mirroring modules deploy the same
-// image at once.
-//
-// Without sharing, every demand fetch of a hot chunk lands on the same
-// small replica set, so per-provider load scales linearly with N. With
-// sharing, a module that has already mirrored a chunk (by demand fetch,
-// prefetch or commit) becomes an alternate source for its cohort
-// siblings, and provider load per chunk drops to O(1): the first few
-// fetches seed the cohort, everything after is peer traffic spread over
-// the deployment's own NICs and disks.
-//
-// The design is tracker-based, like a registry-scale mirror fan-out
-// (cf. oc-mirror's mirror-to-disk-then-redistribute flow):
-//
-//   - A Registry lives on a tracker node (the version-manager/service
-//     node in the experiments). Per deployed image it keeps a Cohort:
-//     the member nodes plus a chunk-key → holders location map.
-//   - Members announce freshly mirrored chunks with one small RPC to
-//     the tracker. Announcements are deduplicated per (member, chunk),
-//     so a chunk fetched twice concurrently is only recorded once.
-//   - Every Config.DigestEvery fresh announcements the tracker pushes
-//     the accumulated location delta to all members along the binomial
-//     tree of the broadcast package (Control). Lookups that hit the
-//     local digest cost nothing; only digest misses pay a tracker RPC.
-//   - Locate picks the least-loaded holder (all nodes are equidistant
-//     behind the non-blocking switch, so "nearest" degenerates to
-//     least-loaded) and reserves one of its Config.MaxUploads upload
-//     slots. If every holder is saturated the caller falls back to the
-//     providers — hot peers shed load instead of becoming the new
-//     hot-spot.
-//   - A member whose local copy diverges from the published content
-//     (a mirrored chunk dirtied by a guest write) retracts itself.
-//
-// Cohort implements blob.ChunkSharer; the blob client consults it on
-// every chunk read and mirror modules announce through it. State is
-// shared memory guarded by a mutex that is never held across fabric
-// operations, so the same code runs on the live fabric (real
-// goroutines) and the discrete-event simulation.
 package p2p
 
 import (

@@ -1,14 +1,3 @@
-// Package pvfs models the baseline distributed file system of the
-// paper's evaluation (§5.2): a PVFS-style parallel file system that
-// stripes file contents round-robin over server nodes and uses a
-// distributed metadata scheme (no central metadata bottleneck).
-//
-// The defining differences from the blob store are that pvfs has no
-// versioning (files are mutable in place) and that reads fetch exactly
-// the requested byte range from each stripe server — there is no
-// chunk-granular prefetching, so scattered small reads pay a full
-// request round-trip each. Those two properties are what the paper's
-// qcow2-over-PVFS baseline inherits.
 package pvfs
 
 import (

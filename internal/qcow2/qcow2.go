@@ -1,21 +1,3 @@
-// Package qcow2 implements the copy-on-write image format of the
-// paper's second baseline (§5.2 "qcow2 over PVFS"): a local image file
-// holding a two-level cluster mapping (L1 → L2 tables → data clusters)
-// over a read-only backing file.
-//
-// Behavioural fidelity to qemu's qcow2 matters for the comparison, so
-// this implementation keeps the properties the paper's evaluation
-// exercises:
-//
-//   - reads of unallocated clusters go to the backing file for exactly
-//     the requested byte range — there is no copy-on-read and no
-//     prefetching, so each scattered small read pays a backing-store
-//     round trip (the root cause of Fig. 4(a)'s gap);
-//   - the first write to a cluster triggers copy-on-write of the whole
-//     cluster from the backing file;
-//   - a snapshot is the qcow2 file itself (header + tables + allocated
-//     clusters), which depends on the backing file — snapshots are not
-//     standalone, unlike the mirror module's committed blobs.
 package qcow2
 
 import (

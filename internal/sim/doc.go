@@ -1,0 +1,15 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulation engine.
+//
+// The engine drives a virtual clock over a priority queue of events.
+// Simulation logic is written as ordinary sequential Go code inside
+// processes (see Proc): a process sleeps, waits on conditions, acquires
+// resources and performs work on shared bandwidth pools, all in virtual
+// time. Exactly one process runs at any instant — the scheduler hands
+// control to a process and waits for it to park again — so simulation
+// state never needs locking and runs are reproducible bit-for-bit.
+//
+// The package is the substrate on which the cluster, storage and
+// experiment layers of this repository are built; it deliberately knows
+// nothing about any of them.
+package sim

@@ -1,0 +1,17 @@
+// Package vmmodel models the life cycle and disk access pattern of a
+// virtual machine instance as characterized in §2.3 of the paper:
+//
+//   - boot phase: scattered small reads and a few writes against the
+//     image, interleaved with CPU work, touching only a fraction of
+//     the image (the guest reads kernel, init, libraries, config);
+//   - application phase: negligible image I/O, or read-your-writes
+//     (log files, object caches);
+//   - shutdown phase: negligible I/O.
+//
+// The boot-trace generator produces a reproducible synthetic trace
+// with the structural properties that drive the evaluation: reads are
+// grouped into sequentially-scanned extents ("files"), op sizes are
+// small relative to the 256 KB chunk size, and per-instance start skew
+// plus CPU interleaving spread the storm (paper §3.1.3 measures ~100ms
+// natural skew between instances).
+package vmmodel

@@ -1,0 +1,4 @@
+// Package workloads provides the application-level workloads of the
+// paper's evaluation: a Bonnie++-style local I/O benchmark (§5.4) and
+// the Monte Carlo π estimation application (§5.5).
+package workloads

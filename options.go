@@ -1,0 +1,122 @@
+package blobvfs
+
+import (
+	"fmt"
+
+	"blobvfs/internal/mirror"
+)
+
+// config is the resolved Repo configuration; Open applies defaults,
+// then options, then validates.
+type config struct {
+	providers  []NodeID
+	manager    NodeID
+	replicas   int
+	chunkSize  int
+	mirror     mirror.Config
+	extentCap  int // 0 keeps the client default
+	p2p        *P2PConfig
+	retainLast int // 0 disables the repo-level retention default
+	dedup      bool
+}
+
+// Option configures a Repo at Open.
+type Option func(*config)
+
+// WithProviders selects the nodes whose local disks form the storage
+// pool. Default: every node of the fabric (§3.1.1: aggregate all local
+// disks).
+func WithProviders(nodes ...NodeID) Option {
+	return func(c *config) { c.providers = nodes }
+}
+
+// WithManager places the version manager (and, with WithP2P, the
+// sharing tracker) on the given node. Default: node 0.
+func WithManager(node NodeID) Option {
+	return func(c *config) { c.manager = node }
+}
+
+// WithReplicas sets the chunk replication degree. Default: 1.
+func WithReplicas(k int) Option {
+	return func(c *config) { c.replicas = k }
+}
+
+// WithChunkSize sets the stripe unit in bytes. Default: 256 KB (the
+// paper's §5.2 setting).
+func WithChunkSize(bytes int) Option {
+	return func(c *config) { c.chunkSize = bytes }
+}
+
+// WithMetadataPrefetch toggles resolving a snapshot's complete chunk
+// map in one batched descent when a disk opens, so demand fetches skip
+// tree descent entirely. Default: on.
+func WithMetadataPrefetch(on bool) Option {
+	return func(c *config) { c.mirror.MetadataPrefetch = on }
+}
+
+// WithOpOverhead sets the per-operation user/kernel crossing cost of
+// the mirroring layer in seconds. Default: the calibrated FUSE cost.
+func WithOpOverhead(seconds float64) Option {
+	return func(c *config) { c.mirror.OpOverhead = seconds }
+}
+
+// WithP2P enables peer-to-peer chunk sharing: deployment cohorts
+// registered with Repo.Share serve each other's demand fetches before
+// falling back to the providers. At most one P2PConfig may be given;
+// omitted, the protocol defaults apply. The tracker runs on the
+// manager node.
+func WithP2P(cfg ...P2PConfig) Option {
+	return func(c *config) {
+		p := defaultP2PConfig()
+		if len(cfg) > 0 {
+			p = cfg[0]
+		}
+		c.p2p = &p
+	}
+}
+
+// WithRetention sets the repo's default keep-last-K retention window:
+// Repo.RetireOld calls with keep <= 0 fall back to it. 0 (the
+// default) means no implicit retention.
+func WithRetention(keepLast int) Option {
+	return func(c *config) { c.retainLast = keepLast }
+}
+
+// WithExtentCacheCap bounds how many (image, version) flattened chunk
+// maps each node's client keeps cached. Default: the client's
+// built-in cap.
+func WithExtentCacheCap(n int) Option {
+	return func(c *config) { c.extentCap = n }
+}
+
+// WithDedup enables content deduplication on the provider set:
+// identical chunk payloads are stored once and aliased.
+func WithDedup() Option {
+	return func(c *config) { c.dedup = true }
+}
+
+// validate checks the resolved configuration against the fabric size.
+func (c *config) validate(nodes int) error {
+	if c.chunkSize <= 0 {
+		return fmt.Errorf("blobvfs: chunk size %d: %w", c.chunkSize, ErrOutOfRange)
+	}
+	if len(c.providers) == 0 {
+		return fmt.Errorf("blobvfs: no provider nodes: %w", ErrOutOfRange)
+	}
+	for _, n := range c.providers {
+		if int(n) < 0 || int(n) >= nodes {
+			return fmt.Errorf("blobvfs: provider node %d outside cluster of %d: %w", n, nodes, ErrOutOfRange)
+		}
+	}
+	if int(c.manager) < 0 || int(c.manager) >= nodes {
+		return fmt.Errorf("blobvfs: manager node %d outside cluster of %d: %w", c.manager, nodes, ErrOutOfRange)
+	}
+	if c.replicas < 1 || c.replicas > len(c.providers) {
+		return fmt.Errorf("blobvfs: replication degree %d invalid for %d providers: %w",
+			c.replicas, len(c.providers), ErrOutOfRange)
+	}
+	if c.retainLast < 0 {
+		return fmt.Errorf("blobvfs: retention window %d: %w", c.retainLast, ErrOutOfRange)
+	}
+	return nil
+}
