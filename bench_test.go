@@ -190,6 +190,41 @@ func BenchmarkFlashCrowd256(b *testing.B) {
 	}
 }
 
+// BenchmarkFlashCrowdDegraded reruns the 256-instance flash crowd
+// while the fault plan kills half the (replicated) provider pool
+// mid-deployment, against the healthy baseline of the same
+// configuration. The headline metrics are the resilience costs: the
+// completion-time penalty of losing 8 providers, how many reads failed
+// over, and how many chunk copies re-replication recreated. Every
+// instance must still complete — RunDegraded panics otherwise, failing
+// the benchmark.
+func BenchmarkFlashCrowdDegraded(b *testing.B) {
+	for _, kill := range []int{0, 8} {
+		kill := kill
+		name := "healthy"
+		if kill > 0 {
+			name = "kill-8"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := experiments.Quick()
+			var pt experiments.DegradedPoint
+			for i := 0; i < b.N; i++ {
+				pt = experiments.RunDegraded(p, experiments.DegradedConfig{
+					Instances: 256,
+					Sharing:   true,
+					Kill:      kill,
+				})
+			}
+			b.ReportMetric(float64(pt.Booted), "booted")
+			b.ReportMetric(float64(pt.Failovers), "failovers")
+			b.ReportMetric(float64(pt.Rereplicated), "re-replicated")
+			b.ReportMetric(float64(pt.FailedFetches), "failed-fetches")
+			b.ReportMetric(float64(pt.PeerReads), "peer-reads")
+			b.ReportMetric(pt.Completion, "completion-s")
+		})
+	}
+}
+
 // BenchmarkChurn runs the snapshot-lifecycle scenario at acceptance
 // scale: 32 instances, 8 write→snapshot cycles under keep-last-2
 // retention with garbage collection after every round. The headline

@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|ablations|all
+//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|ablations|all
 //
 // fig4 prints all four panels of Fig. 4 (multideployment), fig5 both
 // panels of Fig. 5 (multisnapshotting), fig6/fig7 the Bonnie++
 // comparison, fig8 the Monte Carlo application, flash the flash-crowd
 // scenario with p2p sharing off/on, churn the snapshot-lifecycle
 // scenario (keep-last-K retention + garbage collection; see -cycles
-// and -keep). -quick runs the scaled-down parameter set (shapes
-// preserved, absolute values not comparable to the paper).
+// and -keep), degraded the flash crowd rerun while -kill providers
+// fail mid-deployment (healthy baseline row included). -quick runs the
+// scaled-down parameter set (shapes preserved, absolute values not
+// comparable to the paper).
 package main
 
 import (
@@ -31,11 +33,12 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down parameters (fast; shapes only)")
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	sweepArg := flag.String("sweep", "", "comma-separated instance counts (default 1,10,30,50,70,90,110)")
-	instances := flag.Int("instances", 0, "instance count for fig8/flash/churn (defaults 100/256/32, or 16/64/8 with -quick)")
+	instances := flag.Int("instances", 0, "instance count for fig8/flash/churn/degraded (defaults 100/256/32/256, or 16/64/8/64 with -quick)")
 	cycles := flag.Int("cycles", 8, "snapshot cycles for churn")
 	keep := flag.Int("keep", 2, "keep-last-K retention window for churn (0 = no retention)")
+	kill := flag.Int("kill", 8, "providers killed mid-run for degraded")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +59,7 @@ func main() {
 		flashN = 64
 		churnN = 8
 	}
+	degradedN := flashN
 	if *seed != 0 {
 		p.Seed = *seed
 	}
@@ -63,6 +67,7 @@ func main() {
 		fig8N = *instances
 		flashN = *instances
 		churnN = *instances
+		degradedN = *instances
 	}
 	sweep := experiments.DefaultSweep()
 	if *quick {
@@ -121,6 +126,18 @@ func main() {
 		}
 		return tables
 	}
+	degraded := func() []*metrics.Table {
+		const degradedProviders = 16 // RunDegraded's default pool size
+		if *kill < 0 || *kill >= degradedProviders {
+			fmt.Fprintf(os.Stderr, "vmdeploy: -kill %d out of range [0,%d)\n", *kill, degradedProviders)
+			os.Exit(2)
+		}
+		dc := experiments.DegradedConfig{Instances: degradedN, Sharing: true}
+		healthy := experiments.RunDegraded(p, dc)
+		dc.Kill = *kill
+		hit := experiments.RunDegraded(p, dc)
+		return []*metrics.Table{experiments.DegradedTable([]experiments.DegradedPoint{healthy, hit})}
+	}
 	ablations := func() []*metrics.Table {
 		n := 16
 		if !*quick {
@@ -144,6 +161,8 @@ func main() {
 		run("flash", flash)
 	case "churn":
 		run("churn", churn)
+	case "degraded":
+		run("degraded", degraded)
 	case "ablations":
 		run("ablations", ablations)
 	case "all":
@@ -153,6 +172,7 @@ func main() {
 		run("fig8", fig8)
 		run("flash", flash)
 		run("churn", churn)
+		run("degraded", degraded)
 		run("ablations", ablations)
 	default:
 		flag.Usage()

@@ -1,0 +1,192 @@
+package blobvfs_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"blobvfs"
+)
+
+// Table-driven edge cases for the std-io binding: seek arithmetic
+// around SeekEnd, negative offsets, the read-at/after-EOF conventions,
+// and the typed-error contract once the disk is closed. The happy
+// paths live in TestDiskIOStandardInterfaces; this file pins the
+// corners.
+
+const edgeSize = 16 << 10 // image size used by every case below
+
+func TestDiskIOSeekTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		whence  int
+		off     int64
+		pre     int64 // position set before the seek (SeekCurrent base)
+		want    int64
+		wantErr bool
+	}{
+		{name: "start", whence: io.SeekStart, off: 100, want: 100},
+		{name: "start-zero", whence: io.SeekStart, off: 0, want: 0},
+		{name: "start-negative", whence: io.SeekStart, off: -1, wantErr: true},
+		{name: "current-forward", whence: io.SeekCurrent, off: 50, pre: 100, want: 150},
+		{name: "current-back", whence: io.SeekCurrent, off: -70, pre: 100, want: 30},
+		{name: "current-underflow", whence: io.SeekCurrent, off: -101, pre: 100, wantErr: true},
+		{name: "end", whence: io.SeekEnd, off: 0, want: edgeSize},
+		{name: "end-back", whence: io.SeekEnd, off: -edgeSize, want: 0},
+		{name: "end-past", whence: io.SeekEnd, off: 10, want: edgeSize + 10}, // seeking past EOF is legal
+		{name: "end-underflow", whence: io.SeekEnd, off: -edgeSize - 1, wantErr: true},
+		{name: "bad-whence", whence: 3, off: 0, wantErr: true},
+	}
+	fab, repo := newRepo(t, 1)
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		ref, err := repo.Create(ctx, "img", img(edgeSize, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := repo.OpenDisk(ctx, ctx.Node(), ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer disk.Close(ctx)
+		for _, tc := range cases {
+			f := disk.IO(ctx)
+			if tc.pre != 0 {
+				if _, err := f.Seek(tc.pre, io.SeekStart); err != nil {
+					t.Fatalf("%s: pre-seek: %v", tc.name, err)
+				}
+			}
+			pos, err := f.Seek(tc.off, tc.whence)
+			if tc.wantErr {
+				if !errors.Is(err, blobvfs.ErrOutOfRange) {
+					t.Errorf("%s: err = %v, want ErrOutOfRange", tc.name, err)
+				}
+				// A failed seek must not move the position.
+				if cur, _ := f.Seek(0, io.SeekCurrent); cur != tc.pre {
+					t.Errorf("%s: failed seek moved position to %d (was %d)", tc.name, cur, tc.pre)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s: %v", tc.name, err)
+				continue
+			}
+			if pos != tc.want {
+				t.Errorf("%s: pos = %d, want %d", tc.name, pos, tc.want)
+			}
+		}
+	})
+}
+
+func TestDiskIOReadEdgeTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		off     int64
+		len     int
+		wantN   int
+		wantErr error
+	}{
+		{name: "inside", off: 4096, len: 512, wantN: 512},
+		{name: "to-exact-end", off: edgeSize - 512, len: 512, wantN: 512},
+		{name: "crossing-end", off: edgeSize - 100, len: 512, wantN: 100, wantErr: io.EOF},
+		{name: "at-end", off: edgeSize, len: 1, wantN: 0, wantErr: io.EOF},
+		{name: "past-end", off: edgeSize + 7, len: 1, wantN: 0, wantErr: io.EOF},
+		{name: "negative-offset", off: -1, len: 1, wantN: 0, wantErr: blobvfs.ErrOutOfRange},
+		{name: "empty-read-inside", off: 128, len: 0, wantN: 0},
+	}
+	fab, repo := newRepo(t, 1)
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		base := img(edgeSize, 11)
+		ref, err := repo.Create(ctx, "img", base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := repo.OpenDisk(ctx, ctx.Node(), ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer disk.Close(ctx)
+		f := disk.IO(ctx)
+		for _, tc := range cases {
+			buf := make([]byte, tc.len)
+			n, err := f.ReadAt(buf, tc.off)
+			if n != tc.wantN {
+				t.Errorf("%s: n = %d, want %d", tc.name, n, tc.wantN)
+			}
+			switch {
+			case tc.wantErr == nil && err != nil:
+				t.Errorf("%s: err = %v, want nil", tc.name, err)
+			case tc.wantErr == io.EOF && err != io.EOF:
+				// ReadAt must return io.EOF itself (not a wrapper), per
+				// the io.ReaderAt contract.
+				t.Errorf("%s: err = %v, want io.EOF", tc.name, err)
+			case tc.wantErr != nil && tc.wantErr != io.EOF && !errors.Is(err, tc.wantErr):
+				t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+			}
+			for i := 0; i < n; i++ {
+				if buf[i] != base[tc.off+int64(i)] {
+					t.Errorf("%s: byte %d differs", tc.name, i)
+					break
+				}
+			}
+		}
+
+		// Sequential Read drains to EOF and then keeps returning EOF.
+		if _, err := f.Seek(-100, io.SeekEnd); err != nil {
+			t.Fatal(err)
+		}
+		n, err := io.ReadFull(f, make([]byte, 200))
+		if n != 100 || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("short sequential read = %d, %v; want 100, ErrUnexpectedEOF", n, err)
+		}
+		if n, err := f.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+			t.Errorf("read at drained position = %d, %v; want 0, io.EOF", n, err)
+		}
+	})
+}
+
+// TestDiskIOClosedTable: after Close every data path fails with a
+// typed ErrClosed (reachable via errors.Is), on both the binding used
+// to close and a second binding of the same disk; Seek stays purely
+// positional and keeps working; Close is idempotent through the
+// binding too.
+func TestDiskIOClosedTable(t *testing.T) {
+	fab, repo := newRepo(t, 1)
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		ref, err := repo.Create(ctx, "img", img(edgeSize, 13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := repo.OpenDisk(ctx, ctx.Node(), ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := disk.IO(ctx)
+		other := disk.IO(ctx)
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("second close through binding: %v", err)
+		}
+		ops := []struct {
+			name string
+			do   func(io *blobvfs.DiskIO) error
+		}{
+			{"ReadAt", func(io *blobvfs.DiskIO) error { _, err := io.ReadAt(make([]byte, 1), 0); return err }},
+			{"WriteAt", func(io *blobvfs.DiskIO) error { _, err := io.WriteAt([]byte{1}, 0); return err }},
+			{"Read", func(io *blobvfs.DiskIO) error { _, err := io.Read(make([]byte, 1)); return err }},
+			{"Write", func(io *blobvfs.DiskIO) error { _, err := io.Write([]byte{1}); return err }},
+		}
+		for _, binding := range []*blobvfs.DiskIO{f, other} {
+			for _, op := range ops {
+				if err := op.do(binding); !errors.Is(err, blobvfs.ErrClosed) {
+					t.Errorf("%s after Close = %v, want ErrClosed", op.name, err)
+				}
+			}
+		}
+		// Seek is pure position arithmetic; it needs no live disk.
+		if pos, err := f.Seek(0, io.SeekEnd); err != nil || pos != edgeSize {
+			t.Errorf("Seek after Close = %d, %v; want %d, nil", pos, err, edgeSize)
+		}
+	})
+}

@@ -76,6 +76,11 @@ type (
 	// Version is a 1-based snapshot number within a lineage.
 	Version = blob.Version
 
+	// FaultEvent schedules one node kill or revival at an absolute
+	// virtual time; build plans with KillAt/ReviveAt and install them
+	// with WithFaultPlan.
+	FaultEvent = cluster.FaultEvent
+
 	// DiskStats is an open disk's access accounting.
 	DiskStats = mirror.Stats
 	// GCReport summarizes one garbage-collection cycle.
@@ -89,3 +94,11 @@ type (
 // NewLiveCluster creates an in-process cluster of n nodes: real
 // goroutines, real bytes, zero modeled cost.
 func NewLiveCluster(nodes int) *LiveCluster { return cluster.NewLive(nodes) }
+
+// KillAt returns the fault-plan event that fails node at virtual time
+// t (seconds).
+func KillAt(t float64, node NodeID) FaultEvent { return cluster.KillAt(t, node) }
+
+// ReviveAt returns the fault-plan event that brings node back at
+// virtual time t (seconds).
+func ReviveAt(t float64, node NodeID) FaultEvent { return cluster.ReviveAt(t, node) }

@@ -1,0 +1,95 @@
+package blobvfs_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blobvfs"
+)
+
+// TestWithFaultPlanEndToEnd: the façade surface of the fault
+// subsystem — a plan installed with WithFaultPlan, armed with
+// ArmFaults, kills a provider; reads keep working through failover,
+// the chunks the dead node held are re-replicated, and the Stats
+// counters expose all of it.
+func TestWithFaultPlanEndToEnd(t *testing.T) {
+	fab, repo := newRepo(t, 4,
+		blobvfs.WithReplicas(2),
+		blobvfs.WithFaultPlan(blobvfs.KillAt(0, 1)),
+	)
+	base := img(32<<10, 3)
+	var ref blobvfs.Snapshot
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		var err error
+		ref, err = repo.Create(ctx, "img", base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := repo.ArmFaults(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := repo.ArmFaults(ctx); err != nil {
+			t.Fatalf("second arm must be a no-op, got %v", err)
+		}
+	})
+	// Run returned, so the injector finished: node 1 is down and its
+	// chunks were re-replicated.
+	if repo.NodeAlive(1) {
+		t.Fatal("node 1 still alive after the plan ran")
+	}
+	st := repo.Stats()
+	if st.Rereplicated == 0 {
+		t.Fatal("no chunks re-replicated after the provider death")
+	}
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		disk, err := repo.OpenDisk(ctx, ctx.Node(), ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer disk.Close(ctx)
+		got := make([]byte, len(base))
+		if _, err := disk.ReadAt(ctx, got, 0); err != nil {
+			t.Fatalf("read with a dead provider: %v", err)
+		}
+		if !bytes.Equal(got, base) {
+			t.Fatal("failover read returned wrong bytes")
+		}
+	})
+	st = repo.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("reads over a dead primary recorded no failovers")
+	}
+	if st.FailedFetches != 0 {
+		t.Fatalf("FailedFetches = %d, want 0 (replication must absorb one death)", st.FailedFetches)
+	}
+}
+
+// TestFaultPlanValidationAndArming: malformed plans are rejected at
+// Open, and ArmFaults demands a configured plan on an open repo.
+func TestFaultPlanValidationAndArming(t *testing.T) {
+	fab := blobvfs.NewLiveCluster(2)
+	if _, err := blobvfs.Open(fab, blobvfs.WithFaultPlan(blobvfs.KillAt(1, 7))); !errors.Is(err, blobvfs.ErrOutOfRange) {
+		t.Fatalf("out-of-range fault node: %v, want ErrOutOfRange", err)
+	}
+	if _, err := blobvfs.Open(fab, blobvfs.WithFaultPlan(blobvfs.ReviveAt(-1, 0))); !errors.Is(err, blobvfs.ErrOutOfRange) {
+		t.Fatalf("negative fault time: %v, want ErrOutOfRange", err)
+	}
+
+	repo, err := blobvfs.Open(fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repo.NodeAlive(0) || !repo.NodeAlive(1) {
+		t.Fatal("fresh repo must report all nodes alive")
+	}
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		if err := repo.ArmFaults(ctx); !errors.Is(err, blobvfs.ErrNotFound) {
+			t.Fatalf("arming without a plan: %v, want ErrNotFound", err)
+		}
+		repo.Close()
+		if err := repo.ArmFaults(ctx); !errors.Is(err, blobvfs.ErrClosed) {
+			t.Fatalf("arming a closed repo: %v, want ErrClosed", err)
+		}
+	})
+}

@@ -40,6 +40,15 @@ type ProviderSet struct {
 	aliases  map[ChunkKey]ChunkKey
 	retained map[ChunkKey]bool // keys Put and not yet Released
 	pending  map[ChunkKey]bool // keys of in-flight, unpublished commits
+	// repairs holds the substitute replica locations created for a
+	// canonical chunk — by a repair sweep after one of its ring
+	// replicas died, or by a degraded Put that pushed a dead replica's
+	// copy to a substitute (repair.go). Reads consult them after the
+	// ring. voids lists ring replicas that never received their copy
+	// (down at Put time): they are not locations until a repair sweep
+	// backfills them, even after a revival.
+	repairs map[ChunkKey][]cluster.NodeID
+	voids   map[ChunkKey][]cluster.NodeID
 
 	alive   map[cluster.NodeID]*atomic.Bool  // provider liveness flags
 	readsBy map[cluster.NodeID]*atomic.Int64 // chunk reads served, per provider
@@ -49,6 +58,11 @@ type ProviderSet struct {
 	// ReclaimedBytes count chunk payloads physically freed by Release.
 	Reads, Writes, DedupHits  atomic.Int64
 	Reclaimed, ReclaimedBytes atomic.Int64
+	// Failovers counts reads a dead primary pushed onto a surviving
+	// replica (or a repair copy); FailedReads counts reads that found
+	// no live copy at all (ErrNoReplica); Rereplicated counts chunk
+	// copies re-created on substitute providers after a node death.
+	Failovers, FailedReads, Rereplicated atomic.Int64
 }
 
 // NewProviderSet creates a chunk store over the given nodes with the
@@ -77,6 +91,8 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 		aliases:  make(map[ChunkKey]ChunkKey),
 		retained: make(map[ChunkKey]bool),
 		pending:  make(map[ChunkKey]bool),
+		repairs:  make(map[ChunkKey][]cluster.NodeID),
+		voids:    make(map[ChunkKey][]cluster.NodeID),
 		alive:    alive,
 		readsBy:  readsBy,
 	}
@@ -156,11 +172,18 @@ func (ps *ProviderSet) PendingSnapshot() (ChunkKey, map[ChunkKey]bool) {
 	return wm, pending
 }
 
+// primarySlot returns the index into ps.nodes of a key's primary
+// replica — the single place the placement hash lives; the ring walks
+// of Replicas, ReReplicate and substitutes all start here.
+func (ps *ProviderSet) primarySlot(key ChunkKey) int {
+	return int(uint64(key) % uint64(len(ps.nodes)))
+}
+
 // Replicas returns the provider nodes responsible for a key, primary
 // first.
 func (ps *ProviderSet) Replicas(key ChunkKey) []cluster.NodeID {
 	n := len(ps.nodes)
-	first := int(uint64(key) % uint64(n))
+	first := ps.primarySlot(key)
 	out := make([]cluster.NodeID, 0, ps.replicas)
 	for i := 0; i < ps.replicas; i++ {
 		out = append(out, ps.nodes[(first+i)%n])
@@ -191,14 +214,19 @@ func (ps *ProviderSet) isAlive(node cluster.NodeID) bool {
 // Put stores a payload under key on all replicas, charging the chunk
 // transfer to each living replica and an asynchronous local-disk write
 // there (BlobSeer acknowledges once the data is in the provider's
-// write-back buffer; see paper §5.3). Returns an error if no replica
-// is alive. Under deduplication, a payload whose content fingerprint
-// is already stored becomes an alias of the existing chunk: the
-// transfer is still charged (the client pushed the bytes) but the
-// disk write and the second copy are skipped.
+// write-back buffer; see paper §5.3). A ring replica that is down
+// takes no copy — the writer records it as a void and pushes the
+// missing copy to a live substitute instead (writing around the
+// failure), so the chunk is born at full replication degree whenever
+// enough providers are up. Returns an error if no copy could be
+// placed anywhere. Under deduplication, a payload whose content
+// fingerprint is already stored becomes an alias of the existing
+// chunk: the transfer is still charged (the client pushed the bytes)
+// but the disk write and the second copy are skipped.
 func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
-	dup := false
+	dup, registered := false, false
 	var canonical ChunkKey
+	var fprint uint64
 	if ps.dedup {
 		if fp, ok := fingerprint(p); ok {
 			ps.mu.Lock()
@@ -208,13 +236,17 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 			} else {
 				ps.byPrint[fp] = key
 				ps.printOf[key] = fp
+				registered, fprint = true, fp
 			}
 			ps.mu.Unlock()
 		}
 	}
 	stored := 0
-	for _, prov := range ps.Replicas(key) {
+	var deadRing []cluster.NodeID
+	ring := ps.Replicas(key)
+	for _, prov := range ring {
 		if !ps.isAlive(prov) {
+			deadRing = append(deadRing, prov)
 			continue
 		}
 		ctx.RPC(prov, int64(p.Size)+32, 16)
@@ -223,7 +255,46 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 		}
 		stored++
 	}
+	// Write around dead replicas: push their copies to live providers
+	// outside the ring. For an aliased (dup) payload the content
+	// already lives on its canonical chunk's providers, so the alias
+	// needs no substitutes of its own — but if its entire ring is
+	// dead, the transfer goes to the canonical chunk's first live
+	// holder (the node that detects the duplicate) so the zero-copy
+	// alias still succeeds.
+	var subs []cluster.NodeID
+	if stored == 0 && dup {
+		ps.mu.RLock()
+		canonLocs := ps.locationsLocked(canonical)
+		ps.mu.RUnlock()
+		for _, n := range canonLocs {
+			if ps.isAlive(n) {
+				ctx.RPC(n, int64(p.Size)+32, 16)
+				stored++
+				break
+			}
+		}
+	}
+	if len(deadRing) > 0 && !dup {
+		subs = ps.substitutes(key, ring, len(deadRing))
+		for _, s := range subs {
+			ctx.RPC(s, int64(p.Size)+32, 16)
+			ctx.DiskWriteAsync(s, int64(p.Size))
+			stored++
+		}
+	}
 	if stored == 0 {
+		// Nothing could take a copy (or, for an alias, even record the
+		// reference). Unregister the fingerprint claimed above: a later
+		// identical write must not alias to this never-stored chunk.
+		if registered {
+			ps.mu.Lock()
+			if ps.byPrint[fprint] == key {
+				delete(ps.byPrint, fprint)
+			}
+			delete(ps.printOf, key)
+			ps.mu.Unlock()
+		}
 		return fmt.Errorf("blob: chunk %d: %w", key, ErrNoReplica)
 	}
 	ps.mu.Lock()
@@ -234,6 +305,12 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 	} else {
 		ps.chunks[key] = p
 		ps.refs[key]++
+		if len(deadRing) > 0 {
+			ps.voids[key] = deadRing
+			if len(subs) > 0 {
+				ps.repairs[key] = subs
+			}
+		}
 	}
 	ps.retained[key] = true
 	ps.mu.Unlock()
@@ -241,29 +318,86 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 	return nil
 }
 
+// substitutes picks n live providers outside key's ring, walking the
+// node list from the key's primary slot (deterministic). Fewer than n
+// may be returned when not enough providers are up.
+func (ps *ProviderSet) substitutes(key ChunkKey, ring []cluster.NodeID, n int) []cluster.NodeID {
+	first := ps.primarySlot(key)
+	var out []cluster.NodeID
+	for i := 0; i < len(ps.nodes) && len(out) < n; i++ {
+		cand := ps.nodes[(first+i)%len(ps.nodes)]
+		if ps.isAlive(cand) && !containsProvider(ring, cand) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// locationsLocked returns the nodes holding key's payload in failover
+// order: ring replicas that actually stored it (a replica down at Put
+// time never received its copy — see voids), then the substitute
+// locations degraded writes and repair sweeps created. The caller
+// holds ps.mu (either side); key must be canonical.
+func (ps *ProviderSet) locationsLocked(key ChunkKey) []cluster.NodeID {
+	ring := ps.Replicas(key)
+	voids := ps.voids[key]
+	out := make([]cluster.NodeID, 0, len(ring)+len(ps.repairs[key]))
+	for _, r := range ring {
+		if !containsProvider(voids, r) {
+			out = append(out, r)
+		}
+	}
+	return append(out, ps.repairs[key]...)
+}
+
 // Get fetches the payload for key, charging the provider's disk read
-// and the transfer back. Replica choice is primary-first with
-// failover. Aliased (deduplicated) keys resolve to their canonical
-// chunk, whose home provider serves the read.
+// and the transfer back. Location choice is primary-first with
+// failover: dead holders are skipped (each one probed costs the
+// reader a timed-out request), and only when every copy is gone does
+// the read fail with ErrNoReplica. Aliased (deduplicated) keys
+// resolve to their canonical chunk, whose home provider serves the
+// read.
 func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 	ps.mu.RLock()
 	if canon, ok := ps.aliases[key]; ok {
 		key = canon
 	}
 	p, ok := ps.chunks[key]
-	ps.mu.RUnlock()
+	// Fast path for the fault-free common case: with no voids or
+	// repair locations anywhere, the location set IS the ring, and the
+	// hot read path keeps its single slice allocation.
+	var locs []cluster.NodeID
+	if len(ps.voids) == 0 && len(ps.repairs) == 0 {
+		ps.mu.RUnlock()
+		locs = ps.Replicas(key)
+	} else {
+		locs = ps.locationsLocked(key)
+		ps.mu.RUnlock()
+	}
 	if !ok {
 		return Payload{}, notFound("chunk", key)
 	}
-	var prov cluster.NodeID = -1
-	for _, r := range ps.Replicas(key) {
+	prov := cluster.NodeID(-1)
+	probes, failover := 0, false
+	for i, r := range locs {
 		if ps.isAlive(r) {
-			prov = r
+			prov, failover = r, i > 0
 			break
 		}
+		probes++
+	}
+	if probes > 0 {
+		// Every dead copy probed costs the reader one timed-out
+		// request before it moves to the next candidate.
+		cfg := ctx.Fabric().Config()
+		ctx.Sleep(float64(probes) * (cfg.RTT + cfg.ReqOverhead))
 	}
 	if prov < 0 {
+		ps.FailedReads.Add(1)
 		return Payload{}, fmt.Errorf("blob: chunk %d: %w", key, ErrNoReplica)
+	}
+	if failover {
+		ps.Failovers.Add(1)
 	}
 	ctx.DiskRead(prov, int64(p.Size))
 	ctx.RPC(prov, 32, int64(p.Size))
@@ -366,6 +500,8 @@ func (ps *ProviderSet) Release(ctx *cluster.Ctx, keys []ChunkKey) (released []Ch
 		released = append(released, key)
 		if ps.refs[canon]--; ps.refs[canon] <= 0 {
 			delete(ps.refs, canon)
+			delete(ps.repairs, canon)
+			delete(ps.voids, canon)
 			if p, ok := ps.chunks[canon]; ok {
 				delete(ps.chunks, canon)
 				freedBytes += int64(p.Size)

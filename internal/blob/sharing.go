@@ -1,6 +1,10 @@
 package blob
 
-import "blobvfs/internal/cluster"
+import (
+	"errors"
+
+	"blobvfs/internal/cluster"
+)
 
 // ChunkSharer is the hook the peer-to-peer chunk-sharing layer
 // (internal/p2p) plugs into the client's data path. A client with a
@@ -42,23 +46,49 @@ func (c *Client) SetSharer(s ChunkSharer) { c.sharer = s }
 // authoritative store (peers mirror published content verbatim); what
 // the peer path changes is where the disk read and the transfer are
 // charged — and therefore where the load lands.
+//
+// The fetch does not propagate the first failure: when the providers
+// report every replica dead (ErrNoReplica), the cohort is consulted
+// once more — a sibling that mirrored the chunk before the failure is
+// a fully valid alternate source, and the first Locate may have missed
+// only because every holder's upload slot was taken.
 func (c *Client) getChunk(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
-	if c.sharer != nil {
-		if peer, release, ok := c.sharer.Locate(ctx, key); ok {
-			if p, found := c.sys.Providers.Peek(key); found {
-				ctx.DiskRead(peer, int64(p.Size))
-				ctx.RPC(peer, 32, int64(p.Size))
-				release()
-				return p, nil
-			}
-			// The tracker knew a holder but the store has no such
-			// chunk: a garbage-collection sweep (gc.go) freed it after
-			// the holder was located but before this read — the
-			// tracker-side retraction (ReclaimListener) is asynchronous
-			// with respect to in-flight lookups. Release the slot and
-			// fall back to the providers' error path.
-			release()
+	if p, ok := c.fromPeer(ctx, key); ok {
+		return p, nil
+	}
+	p, err := c.sys.Providers.Get(ctx, key)
+	if err != nil && errors.Is(err, ErrNoReplica) {
+		if p, ok := c.fromPeer(ctx, key); ok {
+			return p, nil
 		}
 	}
-	return c.sys.Providers.Get(ctx, key)
+	return p, err
+}
+
+// fromPeer tries to serve key from a cohort peer: locate a live
+// holder, then read from its local mirror. ok=false sends the caller
+// to the providers (no sharer, no willing holder, or the chunk was
+// reclaimed under a stale location record).
+func (c *Client) fromPeer(ctx *cluster.Ctx, key ChunkKey) (Payload, bool) {
+	if c.sharer == nil {
+		return Payload{}, false
+	}
+	peer, release, ok := c.sharer.Locate(ctx, key)
+	if !ok {
+		return Payload{}, false
+	}
+	if p, found := c.sys.Providers.Peek(key); found {
+		ctx.DiskRead(peer, int64(p.Size))
+		ctx.RPC(peer, 32, int64(p.Size))
+		release()
+		return p, true
+	}
+	// The tracker knew a holder but the store has no such chunk: a
+	// garbage-collection sweep (gc.go) freed it after the holder was
+	// located but before this read — the tracker-side retraction
+	// (ReclaimListener) is asynchronous with respect to in-flight
+	// lookups. Release the slot and fall back to the providers' error
+	// path.
+	release()
+	return Payload{}, false
 }

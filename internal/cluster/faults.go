@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the fault-injection substrate: a per-node liveness
+// registry and a schedulable fault plan. The IaaS clouds the paper
+// targets lose repository nodes mid-deployment; the plan lets a
+// scenario kill (and revive) nodes at fixed points in virtual time, so
+// "handles node failure" becomes a measurable property of a run
+// instead of an assumption. Everything is deterministic: events fire
+// in sorted time order from one injector activity, and listeners run
+// in registration order.
+
+// FaultKind says what a FaultEvent does to its node.
+type FaultKind uint8
+
+const (
+	// FaultKill marks the node failed: services subscribed to the
+	// liveness registry stop using it (providers stop serving reads,
+	// cohort peers stop being selected) until a FaultRevive.
+	FaultKill FaultKind = iota
+	// FaultRevive brings a killed node back.
+	FaultRevive
+)
+
+// String renders the kind for plan dumps and test failures.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKill:
+		return "kill"
+	case FaultRevive:
+		return "revive"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// FaultEvent schedules one liveness transition at an absolute virtual
+// time (seconds since the run started).
+type FaultEvent struct {
+	At   float64
+	Node NodeID
+	Kind FaultKind
+}
+
+// KillAt returns the event that fails node at time t.
+func KillAt(t float64, node NodeID) FaultEvent {
+	return FaultEvent{At: t, Node: node, Kind: FaultKill}
+}
+
+// ReviveAt returns the event that brings node back at time t.
+func ReviveAt(t float64, node NodeID) FaultEvent {
+	return FaultEvent{At: t, Node: node, Kind: FaultRevive}
+}
+
+// ValidateFaults checks a fault plan against a cluster size.
+func ValidateFaults(events []FaultEvent, nodes int) error {
+	for _, ev := range events {
+		if ev.At < 0 {
+			return fmt.Errorf("cluster: fault event at negative time %g", ev.At)
+		}
+		if int(ev.Node) < 0 || int(ev.Node) >= nodes {
+			return fmt.Errorf("cluster: fault event for node %d outside cluster of %d", ev.Node, nodes)
+		}
+		if ev.Kind != FaultKill && ev.Kind != FaultRevive {
+			return fmt.Errorf("cluster: fault event with unknown kind %d", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Liveness tracks which nodes of a cluster are up. Services subscribe
+// with OnChange; Kill and Revive flip a node's state and invoke every
+// listener — in registration order, outside any lock, so a listener
+// may perform fabric operations (re-replication transfers, retraction
+// broadcasts) without stalling the discrete-event scheduler. State is
+// one atomic flag per node: Alive sits on the p2p holder-selection
+// hot path of every fetch, so it must stay contention-free even on a
+// repo that never configures a fault plan.
+type Liveness struct {
+	alive []atomic.Bool
+
+	mu        sync.Mutex // guards listeners and serializes transitions
+	listeners []func(ctx *Ctx, node NodeID, alive bool)
+}
+
+// NewLiveness returns a registry with all nodes up.
+func NewLiveness(nodes int) *Liveness {
+	l := &Liveness{alive: make([]atomic.Bool, nodes)}
+	for i := range l.alive {
+		l.alive[i].Store(true)
+	}
+	return l
+}
+
+// Nodes returns the cluster size the registry covers.
+func (l *Liveness) Nodes() int { return len(l.alive) }
+
+// Alive reports whether node is up. Nodes outside the registry are
+// reported down.
+func (l *Liveness) Alive(node NodeID) bool {
+	return int(node) >= 0 && int(node) < len(l.alive) && l.alive[node].Load()
+}
+
+// AliveCount returns how many nodes are currently up.
+func (l *Liveness) AliveCount() int {
+	n := 0
+	for i := range l.alive {
+		if l.alive[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// OnChange subscribes fn to liveness transitions. Listeners run in
+// registration order on the activity that performs the Kill or Revive.
+func (l *Liveness) OnChange(fn func(ctx *Ctx, node NodeID, alive bool)) {
+	l.mu.Lock()
+	l.listeners = append(l.listeners, fn)
+	l.mu.Unlock()
+}
+
+// Kill marks node failed and notifies the listeners. It reports
+// whether the state changed (killing a dead or out-of-range node is a
+// no-op).
+func (l *Liveness) Kill(ctx *Ctx, node NodeID) bool { return l.set(ctx, node, false) }
+
+// Revive marks node up again and notifies the listeners.
+func (l *Liveness) Revive(ctx *Ctx, node NodeID) bool { return l.set(ctx, node, true) }
+
+func (l *Liveness) set(ctx *Ctx, node NodeID, alive bool) bool {
+	if int(node) < 0 || int(node) >= len(l.alive) {
+		return false
+	}
+	// The mutex serializes concurrent transitions (so two racing kills
+	// invoke the listeners once) without being touched by Alive readers.
+	l.mu.Lock()
+	if !l.alive[node].CompareAndSwap(!alive, alive) {
+		l.mu.Unlock()
+		return false
+	}
+	listeners := make([]func(ctx *Ctx, node NodeID, alive bool), len(l.listeners))
+	copy(listeners, l.listeners)
+	l.mu.Unlock()
+	for _, fn := range listeners {
+		fn(ctx, node, alive)
+	}
+	return true
+}
+
+// Execute spawns the fault-injector activity: it walks the plan in
+// time order, sleeps until each event is due and applies it. Events
+// already due fire immediately; equal-time events keep their plan
+// order (sort is stable). The returned task finishes after the last
+// event's listeners have run.
+//
+// Times are virtual: on the Live fabric, which has no clock (Sleep is
+// a no-op and Now is always 0), the whole plan fires back-to-back in
+// time order as soon as Execute runs. Timed outage windows need the
+// Sim fabric.
+func (l *Liveness) Execute(ctx *Ctx, events []FaultEvent) Task {
+	plan := append([]FaultEvent(nil), events...)
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
+	return ctx.Go("fault-injector", ctx.Node(), func(cc *Ctx) {
+		for _, ev := range plan {
+			if d := ev.At - cc.Now(); d > 0 {
+				cc.Sleep(d)
+			}
+			switch ev.Kind {
+			case FaultKill:
+				l.Kill(cc, ev.Node)
+			case FaultRevive:
+				l.Revive(cc, ev.Node)
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLivenessTransitions: kill/revive flip state exactly once each
+// and notify listeners in registration order.
+func TestLivenessTransitions(t *testing.T) {
+	fab := NewLive(4)
+	lv := NewLiveness(4)
+	var log []string
+	lv.OnChange(func(_ *Ctx, n NodeID, alive bool) {
+		if alive {
+			log = append(log, "a:up")
+		} else {
+			log = append(log, "a:down")
+		}
+	})
+	lv.OnChange(func(_ *Ctx, n NodeID, alive bool) {
+		log = append(log, "b")
+	})
+	fab.Run(func(ctx *Ctx) {
+		if !lv.Alive(2) {
+			t.Fatal("fresh registry must report nodes alive")
+		}
+		if !lv.Kill(ctx, 2) {
+			t.Fatal("first kill must report a transition")
+		}
+		if lv.Kill(ctx, 2) {
+			t.Fatal("second kill of a dead node must be a no-op")
+		}
+		if lv.Alive(2) {
+			t.Fatal("killed node still alive")
+		}
+		if got := lv.AliveCount(); got != 3 {
+			t.Fatalf("AliveCount = %d, want 3", got)
+		}
+		if !lv.Revive(ctx, 2) || lv.Revive(ctx, 2) {
+			t.Fatal("revive must transition exactly once")
+		}
+		if lv.Kill(ctx, 99) || lv.Revive(ctx, -1) {
+			t.Fatal("out-of-range nodes must be no-ops")
+		}
+	})
+	want := []string{"a:down", "b", "a:up", "b"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("listener log = %v, want %v", log, want)
+	}
+	if lv.Alive(99) {
+		t.Fatal("out-of-range node reported alive")
+	}
+}
+
+// TestFaultPlanExecution: events fire in time order at their scheduled
+// virtual times, including events already due when the injector
+// starts.
+func TestFaultPlanExecution(t *testing.T) {
+	fab := NewSim(DefaultConfig(4))
+	lv := NewLiveness(4)
+	type hit struct {
+		at    float64
+		node  NodeID
+		alive bool
+	}
+	var hits []hit
+	fab.Run(func(ctx *Ctx) {
+		lv.OnChange(func(cc *Ctx, n NodeID, alive bool) {
+			hits = append(hits, hit{cc.Now(), n, alive})
+		})
+		ctx.Sleep(1.0)
+		// Plan deliberately out of order; the 0.5s event is already due.
+		task := lv.Execute(ctx, []FaultEvent{
+			KillAt(3.0, 1),
+			ReviveAt(4.5, 1),
+			KillAt(0.5, 2),
+		})
+		ctx.Wait(task)
+		if got := ctx.Now(); got != 4.5 {
+			t.Errorf("injector finished at %g, want 4.5", got)
+		}
+	})
+	want := []hit{{1.0, 2, false}, {3.0, 1, false}, {4.5, 1, true}}
+	if !reflect.DeepEqual(hits, want) {
+		t.Fatalf("events = %v, want %v", hits, want)
+	}
+}
+
+// TestValidateFaults rejects malformed plans.
+func TestValidateFaults(t *testing.T) {
+	if err := ValidateFaults([]FaultEvent{KillAt(1, 3)}, 4); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for _, bad := range [][]FaultEvent{
+		{KillAt(-1, 0)},
+		{KillAt(1, 4)},
+		{ReviveAt(1, -1)},
+		{{At: 1, Node: 0, Kind: FaultKind(9)}},
+	} {
+		if err := ValidateFaults(bad, 4); err == nil {
+			t.Errorf("plan %v accepted", bad)
+		}
+	}
+	if FaultKill.String() != "kill" || FaultRevive.String() != "revive" {
+		t.Error("FaultKind strings wrong")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+// TestDegradedAllInstancesComplete: the headline property — killing
+// half the provider pool mid-deployment must not lose a single
+// instance, and the resilience machinery must actually have engaged.
+func TestDegradedAllInstancesComplete(t *testing.T) {
+	p := Quick()
+	healthy := RunDegraded(p, DegradedConfig{Instances: 48, Sharing: true})
+	hit := RunDegraded(p, DegradedConfig{Instances: 48, Sharing: true, Kill: 8})
+
+	for _, pt := range []DegradedPoint{healthy, hit} {
+		if pt.Booted != pt.Instances {
+			t.Fatalf("killed=%d: %d of %d instances booted", pt.Killed, pt.Booted, pt.Instances)
+		}
+	}
+	if healthy.Failovers != 0 || healthy.Rereplicated != 0 || healthy.FailedFetches != 0 {
+		t.Fatalf("healthy run exercised the failure path: %+v", healthy)
+	}
+	if hit.Failovers == 0 {
+		t.Error("degraded run recorded no failovers")
+	}
+	if hit.Rereplicated == 0 {
+		t.Error("degraded run re-replicated nothing")
+	}
+	if hit.DeadDropped != 0 {
+		t.Errorf("provider kills dropped %d cohort records (providers are not cohort members)", hit.DeadDropped)
+	}
+	// Failure costs time, but must not cost completeness.
+	if hit.Completion <= healthy.Completion {
+		t.Errorf("killing providers did not slow completion: %.2f vs %.2f",
+			hit.Completion, healthy.Completion)
+	}
+}
+
+// TestDegradedDeterministic: the scenario is bit-for-bit repeatable —
+// same seed, same kills, same counters — fault injection included.
+func TestDegradedDeterministic(t *testing.T) {
+	p := Quick()
+	dc := DegradedConfig{Instances: 16, Providers: 8, Kill: 3, Sharing: true}
+	a := RunDegraded(p, dc)
+	b := RunDegraded(p, dc)
+	if a != b {
+		t.Fatalf("degraded scenario not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestDegradedNoFaultMatchesFlashCrowd: with no fault plan the
+// degraded scenario IS the flash crowd — byte-identical timing,
+// traffic and counters. This pins the zero-cost property of the fault
+// subsystem: a healthy run pays nothing for the failover machinery.
+func TestDegradedNoFaultMatchesFlashCrowd(t *testing.T) {
+	p := Quick()
+	deg := RunDegraded(p, DegradedConfig{
+		Instances: 32, Providers: 8, Replicas: 1, Sharing: true,
+	})
+	fc := RunFlashCrowd(p, FlashCrowdConfig{
+		Instances: 32, Providers: 8, Sharing: true,
+	})
+	if deg.Booted != deg.Instances {
+		t.Fatalf("%d of %d instances booted", deg.Booted, deg.Instances)
+	}
+	if deg.Completion != fc.Completion || deg.AvgBoot != fc.AvgBoot || deg.TrafficGB != fc.TrafficGB {
+		t.Errorf("timing diverged without faults: degraded %.6f/%.6f/%.6f vs flash %.6f/%.6f/%.6f",
+			deg.Completion, deg.AvgBoot, deg.TrafficGB, fc.Completion, fc.AvgBoot, fc.TrafficGB)
+	}
+	if deg.ProviderReads != fc.ProviderReads || deg.PeerReads != fc.PeerReads ||
+		deg.MaxProviderReads != fc.MaxProviderReads {
+		t.Errorf("read counters diverged without faults: degraded %d/%d/%d vs flash %d/%d/%d",
+			deg.ProviderReads, deg.MaxProviderReads, deg.PeerReads,
+			fc.ProviderReads, fc.MaxProviderReads, fc.PeerReads)
+	}
+	if deg.Failovers != 0 || deg.Rereplicated != 0 || deg.FailedFetches != 0 || deg.FetchRetries != 0 {
+		t.Errorf("no-fault run touched the failure path: %+v", deg)
+	}
+}

@@ -211,6 +211,14 @@ func TestDeterministicExperiments(t *testing.T) {
 	if sa != sb {
 		t.Fatalf("nondeterministic fig5 point: %+v vs %+v", sa, sb)
 	}
+	// The degraded scenario must be deterministic fault injection and
+	// all: same seed, same victims, same kill times, same counters.
+	dc := DegradedConfig{Instances: 8, Providers: 6, Kill: 2, Sharing: true}
+	da := RunDegraded(p, dc)
+	db := RunDegraded(p, dc)
+	if da != db {
+		t.Fatalf("nondeterministic degraded point: %+v vs %+v", da, db)
+	}
 }
 
 // TestSeedSensitivity: a different seed changes details but not the

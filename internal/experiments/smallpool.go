@@ -30,8 +30,9 @@ type smallPool struct {
 }
 
 // newSmallPool builds the scenario. p2pCfg is only consulted when
-// sharing is true.
-func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.Config) *smallPool {
+// sharing is true; extra options (replication overrides, fault plans)
+// are applied after the base ones, so they win.
+func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.Config, extra ...blobvfs.Option) *smallPool {
 	cfg := cluster.DefaultConfig(instances + providers + 1)
 	if p.WriteBuffer > 0 {
 		cfg.WriteBuffer = p.WriteBuffer
@@ -55,6 +56,7 @@ func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.C
 	if sharing {
 		opts = append(opts, blobvfs.WithP2P(p2pCfg))
 	}
+	opts = append(opts, extra...)
 	repo, err := blobvfs.Open(sp.Fab, opts...)
 	if err != nil {
 		panic(err)

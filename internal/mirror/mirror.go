@@ -1,6 +1,7 @@
 package mirror
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -20,12 +21,22 @@ type Config struct {
 	// descent (and its metadata RPCs) entirely — the metadata analogue
 	// of the paper's "fetch the full minimal chunk set" strategy 1.
 	MetadataPrefetch bool
+	// FetchRetries is how many times a remote chunk fetch that failed
+	// because every replica was down (blob.ErrNoReplica) is retried
+	// before the error propagates to the hypervisor. Between attempts
+	// the module backs off RetryDelay seconds — the window in which
+	// re-replication restores a copy or a cohort sibling announces
+	// one. 0 propagates the first failure.
+	FetchRetries int
+	// RetryDelay is the backoff between fetch retries in seconds.
+	RetryDelay float64
 }
 
 // DefaultConfig returns the calibrated FUSE crossing cost, with
-// metadata prefetch at open enabled.
+// metadata prefetch at open enabled and two fetch retries 50 ms apart
+// (enough for one synchronous re-replication round to land).
 func DefaultConfig() Config {
-	return Config{OpOverhead: 20e-6, MetadataPrefetch: true}
+	return Config{OpOverhead: 20e-6, MetadataPrefetch: true, FetchRetries: 2, RetryDelay: 0.05}
 }
 
 // Module is the per-node mirroring module. It owns the node's local
@@ -96,6 +107,7 @@ type Stats struct {
 	CommittedBytes     int64
 	PrefetchedChunks   int64 // chunks brought in by Prefetch, not demand
 	DuplicateFetches   int64 // concurrent fetches of the same chunk, counted once
+	FetchRetries       int64 // remote fetches re-attempted after ErrNoReplica
 }
 
 // Image is an open mirrored image: the raw file the hypervisor sees.
@@ -469,6 +481,18 @@ func (im *Image) fetchChunks(ctx *cluster.Ctx, lo, hi int64, mode fetchMode) err
 	}
 	im.mu.Unlock()
 	fetched, err := im.mod.client.FetchChunks(ctx, id, v, lo, hi)
+	// Retry-with-backoff instead of propagating the first failure: a
+	// fetch that lost the race with a provider death (every replica of
+	// some chunk down) is re-attempted after RetryDelay — by then
+	// re-replication has restored a copy, or a cohort sibling's
+	// announcement offers an alternate source.
+	for attempt := 0; err != nil && attempt < im.mod.cfg.FetchRetries && errors.Is(err, blob.ErrNoReplica); attempt++ {
+		im.mu.Lock()
+		im.stats.FetchRetries++
+		im.mu.Unlock()
+		ctx.Sleep(im.mod.cfg.RetryDelay)
+		fetched, err = im.mod.client.FetchChunks(ctx, id, v, lo, hi)
+	}
 	im.mu.Lock()
 	for ci := lo; ci < hi; ci++ {
 		if im.inflight[ci]--; im.inflight[ci] == 0 {

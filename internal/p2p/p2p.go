@@ -1,6 +1,8 @@
 package p2p
 
 import (
+	"slices"
+	"sort"
 	"sync"
 
 	"blobvfs/internal/blob"
@@ -32,6 +34,7 @@ type Stats struct {
 	Duplicates   int64 // announcements dropped by (member, chunk) dedup
 	Retracted    int64 // locations withdrawn (local copy diverged)
 	Reclaimed    int64 // locations dropped because GC freed the chunk
+	DeadDropped  int64 // locations dropped because their holder died
 	PeerHits     int64 // Locate calls answered with a peer
 	DigestHits   int64 // ... of which served from the local digest
 	Misses       int64 // fell back to providers: no sibling holds it
@@ -43,12 +46,89 @@ type Stats struct {
 type Registry struct {
 	tracker cluster.NodeID
 	cfg     Config
+	// lv, when set, is the cluster liveness registry: Locate never
+	// returns a holder it reports dead, and announcements from dead
+	// members are ignored. Wire NodeChanged as its OnChange listener
+	// so a death also drops the member's location records.
+	lv *cluster.Liveness
 
 	// mu is an RWMutex: cohort lookup sits on every module's fetch
 	// path, while registration and reclamation are rare, so readers
 	// share the lock.
 	mu      sync.RWMutex
 	cohorts map[blob.ID]*Cohort
+}
+
+// SetLiveness attaches the cluster liveness registry (see Registry.lv).
+// Call it before any cohort traffic.
+func (r *Registry) SetLiveness(lv *cluster.Liveness) { r.lv = lv }
+
+// peerAlive reports whether a node may serve or announce chunks: true
+// without a liveness registry (no fault injection configured).
+func (r *Registry) peerAlive(n cluster.NodeID) bool {
+	return r.lv == nil || r.lv.Alive(n)
+}
+
+// NodeChanged is the cluster liveness hook: wire it with
+// Liveness.OnChange. A death retracts every location record the dead
+// member held across all cohorts — the tracker must never steer a
+// reader to a dead uploader — and pushes the withdrawal to the
+// members along the control tree. A revival needs no tracker action:
+// the records are already gone, and the peer re-announces whatever it
+// still mirrors on its next fetches (the (member, chunk) dedup pairs
+// were cleared with the records).
+func (r *Registry) NodeChanged(ctx *cluster.Ctx, node cluster.NodeID, alive bool) {
+	if alive {
+		return
+	}
+	r.mu.RLock()
+	cohorts := make([]*Cohort, 0, len(r.cohorts))
+	for _, co := range r.cohorts {
+		cohorts = append(cohorts, co)
+	}
+	r.mu.RUnlock()
+	// The per-cohort retraction broadcasts charge RPCs, so their order
+	// must not come from map iteration (determinism convention).
+	sort.Slice(cohorts, func(i, j int) bool { return cohorts[i].image < cohorts[j].image })
+	for _, co := range cohorts {
+		co.dropDeadMember(ctx, node)
+	}
+}
+
+// dropDeadMember withdraws every location record node holds in the
+// cohort and informs the surviving members.
+func (co *Cohort) dropDeadMember(ctx *cluster.Ctx, node cluster.NodeID) {
+	co.mu.Lock()
+	dropped := 0
+	for pair := range co.held {
+		if pair.node != node {
+			continue
+		}
+		delete(co.held, pair)
+		co.holders[pair.key] = removeNode(co.holders[pair.key], node)
+		co.digest[pair.key] = removeNode(co.digest[pair.key], node)
+		dropped++
+	}
+	for i := 0; i < len(co.pending); {
+		if co.pending[i].node == node {
+			co.pending = append(co.pending[:i], co.pending[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	co.stats.DeadDropped += int64(dropped)
+	var targets []cluster.NodeID
+	if dropped > 0 {
+		for _, m := range co.order {
+			if m != node && co.reg.peerAlive(m) {
+				targets = append(targets, m)
+			}
+		}
+	}
+	co.mu.Unlock()
+	if dropped > 0 {
+		co.reg.fromTracker(ctx, targets, int64(dropped)*co.reg.cfg.AnnounceBytes)
+	}
 }
 
 // NewRegistry creates a registry hosted on the tracker node.
@@ -243,6 +323,9 @@ func (co *Cohort) Stats() Stats {
 // asynchronous location-delta broadcast.
 func (co *Cohort) Announce(ctx *cluster.Ctx, keys []blob.ChunkKey) {
 	member := ctx.Node()
+	if !co.reg.peerAlive(member) {
+		return // a dead node must not (re)register as an uploader
+	}
 	co.mu.Lock()
 	if !co.members[member] {
 		co.mu.Unlock()
@@ -390,12 +473,16 @@ func (co *Cohort) Locate(ctx *cluster.Ctx, key blob.ChunkKey) (cluster.NodeID, f
 }
 
 // pickLocked chooses the least-loaded eligible holder (deterministic:
-// first-announced wins ties). any reports whether a non-self holder
-// existed at all, so the caller can distinguish miss from saturation.
+// first-announced wins ties). Holders the liveness registry reports
+// dead are never eligible — the record drop of dropDeadMember and this
+// check together guarantee a dead uploader is never selected, even in
+// the window before the drop ran. any reports whether a non-self
+// holder existed at all, so the caller can distinguish miss from
+// saturation.
 func (co *Cohort) pickLocked(holders []cluster.NodeID, req cluster.NodeID) (best cluster.NodeID, any, found bool) {
 	maxUp := co.reg.cfg.MaxUploads
 	for _, h := range holders {
-		if h == req {
+		if h == req || !co.reg.peerAlive(h) {
 			continue
 		}
 		any = true
@@ -411,19 +498,13 @@ func (co *Cohort) pickLocked(holders []cluster.NodeID, req cluster.NodeID) (best
 }
 
 func containsNode(nodes []cluster.NodeID, n cluster.NodeID) bool {
-	for _, x := range nodes {
-		if x == n {
-			return true
-		}
-	}
-	return false
+	return slices.Contains(nodes, n)
 }
 
+// removeNode deletes the first occurrence of n, in place.
 func removeNode(nodes []cluster.NodeID, n cluster.NodeID) []cluster.NodeID {
-	for i, x := range nodes {
-		if x == n {
-			return append(nodes[:i], nodes[i+1:]...)
-		}
+	if i := slices.Index(nodes, n); i >= 0 {
+		return slices.Delete(nodes, i, i+1)
 	}
 	return nodes
 }

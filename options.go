@@ -3,6 +3,7 @@ package blobvfs
 import (
 	"fmt"
 
+	"blobvfs/internal/cluster"
 	"blobvfs/internal/mirror"
 )
 
@@ -18,6 +19,7 @@ type config struct {
 	p2p        *P2PConfig
 	retainLast int // 0 disables the repo-level retention default
 	dedup      bool
+	faults     []FaultEvent
 }
 
 // Option configures a Repo at Open.
@@ -95,6 +97,24 @@ func WithDedup() Option {
 	return func(c *config) { c.dedup = true }
 }
 
+// WithFaultPlan configures a fault-injection plan: each event kills or
+// revives one node at an absolute virtual time (build them with KillAt
+// and ReviveAt). The plan does not run by itself — call Repo.ArmFaults
+// from an activity to start the injector. While armed, a killed
+// provider stops serving chunks (reads fail over to surviving replicas
+// and the chunks it held are re-replicated), and a killed cohort peer
+// is retracted from the sharing layer so it is never selected as an
+// uploader. With the zero-value plan (no WithFaultPlan) every run is
+// byte-identical to a repo without the fault subsystem. Repeated
+// options concatenate their events.
+//
+// Event times are virtual-clock seconds, so timed outage windows need
+// a simulated fabric: the live fabric has no clock, and a plan armed
+// there fires all its events back-to-back, in time order, immediately.
+func WithFaultPlan(events ...FaultEvent) Option {
+	return func(c *config) { c.faults = append(c.faults, events...) }
+}
+
 // validate checks the resolved configuration against the fabric size.
 func (c *config) validate(nodes int) error {
 	if c.chunkSize <= 0 {
@@ -117,6 +137,9 @@ func (c *config) validate(nodes int) error {
 	}
 	if c.retainLast < 0 {
 		return fmt.Errorf("blobvfs: retention window %d: %w", c.retainLast, ErrOutOfRange)
+	}
+	if err := cluster.ValidateFaults(c.faults, nodes); err != nil {
+		return fmt.Errorf("blobvfs: %w: %w", err, ErrOutOfRange)
 	}
 	return nil
 }

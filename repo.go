@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
 	"blobvfs/internal/mirror"
 	"blobvfs/internal/p2p"
 )
@@ -28,8 +29,14 @@ type Repo struct {
 	cfg     config
 	sys     *blob.System
 	sharing *p2p.Registry // nil without WithP2P
+	// liveness is the repo's node up/down registry: the provider set
+	// (failover + re-replication) and the sharing tracker (dead-peer
+	// retraction) subscribe to it at Open; ArmFaults feeds it the
+	// WithFaultPlan schedule.
+	liveness *cluster.Liveness
 
-	closed atomic.Bool
+	closed      atomic.Bool
+	faultsArmed atomic.Bool
 
 	mu      sync.Mutex
 	modules map[NodeID]*mirror.Module
@@ -76,8 +83,12 @@ func Open(fab Fabric, opts ...Option) (*Repo, error) {
 	if cfg.dedup {
 		r.sys.Providers.EnableDedup()
 	}
+	r.liveness = cluster.NewLiveness(fab.Nodes())
+	r.liveness.OnChange(r.sys.Providers.NodeChanged)
 	if cfg.p2p != nil {
 		r.sharing = p2p.NewRegistry(cfg.manager, *cfg.p2p)
+		r.sharing.SetLiveness(r.liveness)
+		r.liveness.OnChange(r.sharing.NodeChanged)
 	}
 	return r, nil
 }
@@ -387,6 +398,32 @@ func (r *Repo) Names() []string {
 // P2PEnabled reports whether the repo was opened with WithP2P.
 func (r *Repo) P2PEnabled() bool { return r.sharing != nil }
 
+// ArmFaults starts the repo's fault-injection plan (WithFaultPlan): a
+// fault-injector activity is spawned from ctx that kills and revives
+// nodes on the configured schedule. Killed providers stop serving
+// chunks — reads fail over to surviving replicas, and the chunks the
+// dead node held are re-replicated onto substitutes — and killed
+// cohort peers are retracted from the sharing layer. Without a
+// configured plan ArmFaults fails with ErrNotFound; arming twice is a
+// no-op (the plan runs once).
+func (r *Repo) ArmFaults(ctx *Ctx) error {
+	if err := r.checkOpen(); err != nil {
+		return err
+	}
+	if len(r.cfg.faults) == 0 {
+		return fmt.Errorf("blobvfs: no fault plan configured: %w", ErrNotFound)
+	}
+	if !r.faultsArmed.CompareAndSwap(false, true) {
+		return nil
+	}
+	r.liveness.Execute(ctx, r.cfg.faults)
+	return nil
+}
+
+// NodeAlive reports whether the fault subsystem currently considers a
+// node up (always true for every node unless a fault plan killed it).
+func (r *Repo) NodeAlive(node NodeID) bool { return r.liveness.Alive(node) }
+
 // Share registers nodes as a peer-to-peer sharing cohort for an image:
 // disks of that deployment opened afterwards announce the chunks they
 // mirror and serve each other's demand fetches before the providers.
@@ -462,7 +499,8 @@ func (r *Repo) GC(ctx *Ctx) (GCReport, error) {
 	return r.Collector().Collect(ctx)
 }
 
-// RepoStats samples the repository's storage footprint.
+// RepoStats samples the repository's storage footprint and its
+// failure-resilience counters.
 type RepoStats struct {
 	Chunks          int   // distinct chunk payloads stored
 	StoredBytes     int64 // payload bytes (one copy per chunk)
@@ -470,6 +508,16 @@ type RepoStats struct {
 	ReclaimedChunks int64 // chunk payloads freed by GC so far
 	ReclaimedBytes  int64
 	DedupHits       int64 // writes absorbed by an identical stored chunk
+
+	// FailedFetches counts chunk reads that found no live copy at all
+	// (before any retry through the sharing cohort); Failovers counts
+	// reads a dead primary pushed onto a surviving replica or repair
+	// copy; Rereplicated counts chunk copies re-created on substitute
+	// providers after a node death. All three stay zero without a
+	// fault plan.
+	FailedFetches int64
+	Failovers     int64
+	Rereplicated  int64
 }
 
 // Stats samples the repository's current storage footprint.
@@ -481,6 +529,9 @@ func (r *Repo) Stats() RepoStats {
 		ReclaimedChunks: r.sys.Providers.Reclaimed.Load(),
 		ReclaimedBytes:  r.sys.Providers.ReclaimedBytes.Load(),
 		DedupHits:       r.sys.Providers.DedupHits.Load(),
+		FailedFetches:   r.sys.Providers.FailedReads.Load(),
+		Failovers:       r.sys.Providers.Failovers.Load(),
+		Rereplicated:    r.sys.Providers.Rereplicated.Load(),
 	}
 }
 

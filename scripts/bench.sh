@@ -11,5 +11,5 @@ set -eu
 out="${1:-bench.txt}"
 
 go test -run '^$' \
-  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
+  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
   -benchmem -count=1 -cpu 1,8 -timeout 30m . | tee "$out"
