@@ -225,6 +225,57 @@ func BenchmarkFlashCrowdDegraded(b *testing.B) {
 	}
 }
 
+// BenchmarkFlashCrowdCrossZone runs the flash crowd over a zoned
+// fabric: 3 availability zones × 64 instances deploying one image from
+// a provider pool with 3 members per zone (p2p sharing on), with the
+// flat policy vs topology-aware placement and peer selection
+// (WithTopology) over the identical physical fabric. The headline
+// metric is the traffic that crossed a zone interconnect — the scarce,
+// expensive bytes — which awareness must cut by at least 2×; the guard
+// fails the benchmark if it ever regresses below that.
+func BenchmarkFlashCrowdCrossZone(b *testing.B) {
+	const perZone = 64
+	run := func(aware bool) experiments.CrossZonePoint {
+		return experiments.RunCrossZone(experiments.Quick(), experiments.CrossZoneConfig{
+			InstancesPerZone: perZone,
+			Aware:            aware,
+			Sharing:          true,
+		})
+	}
+	var flat, awarePt experiments.CrossZonePoint
+	for _, aware := range []bool{false, true} {
+		aware := aware
+		name := "flat"
+		if aware {
+			name = "aware"
+		}
+		b.Run(name, func(b *testing.B) {
+			var pt experiments.CrossZonePoint
+			for i := 0; i < b.N; i++ {
+				pt = run(aware)
+			}
+			if aware {
+				awarePt = pt
+			} else {
+				flat = pt
+			}
+			b.ReportMetric(float64(pt.CrossZoneBytes)/1e6, "cross-zone-MB")
+			b.ReportMetric(float64(pt.TierBytes[cluster.TierZone])/1e6, "zone-local-MB")
+			b.ReportMetric(float64(pt.ProviderReads), "provider-reads")
+			b.ReportMetric(float64(pt.PeerReads), "peer-reads")
+			b.ReportMetric(pt.Completion, "completion-s")
+		})
+	}
+	if flat.CrossZoneBytes > 0 && awarePt.CrossZoneBytes > 0 {
+		ratio := float64(flat.CrossZoneBytes) / float64(awarePt.CrossZoneBytes)
+		b.ReportMetric(ratio, "cross-zone-reduction-x")
+		if ratio < 2 {
+			b.Fatalf("topology awareness cut cross-zone bytes only %.2fx (flat %d, aware %d), want >= 2x",
+				ratio, flat.CrossZoneBytes, awarePt.CrossZoneBytes)
+		}
+	}
+}
+
 // BenchmarkChurn runs the snapshot-lifecycle scenario at acceptance
 // scale: 32 instances, 8 write→snapshot cycles under keep-last-2
 // retention with garbage collection after every round. The headline

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|ablations|all
+//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|ablations|all
 //
 // fig4 prints all four panels of Fig. 4 (multideployment), fig5 both
 // panels of Fig. 5 (multisnapshotting), fig6/fig7 the Bonnie++
@@ -11,7 +11,9 @@
 // scenario with p2p sharing off/on, churn the snapshot-lifecycle
 // scenario (keep-last-K retention + garbage collection; see -cycles
 // and -keep), degraded the flash crowd rerun while -kill providers
-// fail mid-deployment (healthy baseline row included). -quick runs the
+// fail mid-deployment (healthy baseline row included), crosszone the
+// flash crowd spread over 3 availability zones with flat vs
+// topology-aware policy (docs/topology.md). -quick runs the
 // scaled-down parameter set (shapes preserved, absolute values not
 // comparable to the paper).
 package main
@@ -38,7 +40,7 @@ func main() {
 	keep := flag.Int("keep", 2, "keep-last-K retention window for churn (0 = no retention)")
 	kill := flag.Int("kill", 8, "providers killed mid-run for degraded")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,12 +54,14 @@ func main() {
 	fig8N := 100
 	flashN := 256
 	churnN := 32
+	crossN := 60 // per zone
 	if *quick {
 		p = experiments.Quick()
 		p.MaxInstances = 24
 		fig8N = 16
 		flashN = 64
 		churnN = 8
+		crossN = 20
 	}
 	degradedN := flashN
 	if *seed != 0 {
@@ -68,6 +72,7 @@ func main() {
 		flashN = *instances
 		churnN = *instances
 		degradedN = *instances
+		crossN = (*instances + 2) / 3 // total crowd over the 3 zones
 	}
 	sweep := experiments.DefaultSweep()
 	if *quick {
@@ -138,6 +143,19 @@ func main() {
 		hit := experiments.RunDegraded(p, dc)
 		return []*metrics.Table{experiments.DegradedTable([]experiments.DegradedPoint{healthy, hit})}
 	}
+	crosszone := func() []*metrics.Table {
+		var pts []experiments.CrossZonePoint
+		for _, sharing := range []bool{false, true} {
+			for _, aware := range []bool{false, true} {
+				pts = append(pts, experiments.RunCrossZone(p, experiments.CrossZoneConfig{
+					InstancesPerZone: crossN,
+					Aware:            aware,
+					Sharing:          sharing,
+				}))
+			}
+		}
+		return []*metrics.Table{experiments.CrossZoneTable(pts)}
+	}
 	ablations := func() []*metrics.Table {
 		n := 16
 		if !*quick {
@@ -163,6 +181,8 @@ func main() {
 		run("churn", churn)
 	case "degraded":
 		run("degraded", degraded)
+	case "crosszone":
+		run("crosszone", crosszone)
 	case "ablations":
 		run("ablations", ablations)
 	case "all":
@@ -173,6 +193,7 @@ func main() {
 		run("flash", flash)
 		run("churn", churn)
 		run("degraded", degraded)
+		run("crosszone", crosszone)
 		run("ablations", ablations)
 	default:
 		flag.Usage()

@@ -81,6 +81,15 @@ type (
 	// with WithFaultPlan.
 	FaultEvent = cluster.FaultEvent
 
+	// Topology arranges a cluster's nodes into zones and racks with
+	// tiered links; install it with WithTopology (and, for modeled
+	// tier contention, in the simulated fabric's cluster config).
+	Topology = cluster.Topology
+	// Tier is the locality distance between two nodes (TierLocal,
+	// TierRack, TierZone, TierRemote); it indexes the per-tier
+	// counters of P2PStats.TierHits.
+	Tier = cluster.Tier
+
 	// DiskStats is an open disk's access accounting.
 	DiskStats = mirror.Stats
 	// GCReport summarizes one garbage-collection cycle.
@@ -89,6 +98,16 @@ type (
 	P2PConfig = p2p.Config
 	// P2PStats is a sharing cohort's hit/traffic accounting.
 	P2PStats = p2p.Stats
+)
+
+// Locality tiers, nearest first; see Tier.
+const (
+	TierLocal  = cluster.TierLocal
+	TierRack   = cluster.TierRack
+	TierZone   = cluster.TierZone
+	TierRemote = cluster.TierRemote
+	// NumTiers sizes per-tier counter arrays (P2PStats.TierHits).
+	NumTiers = cluster.NumTiers
 )
 
 // NewLiveCluster creates an in-process cluster of n nodes: real

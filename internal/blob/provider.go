@@ -24,7 +24,13 @@ type ProviderSet struct {
 	nodes    []cluster.NodeID
 	replicas int
 	dedup    bool
-	nextKey  atomic.Uint64
+	// topo, when enabled, makes placement and reads locality-aware:
+	// Replicas spreads a chunk's copies across failure domains (zones
+	// first, then racks), and Get probes the reader's nearest live
+	// copy first. The zero topology keeps the flat ring behavior
+	// byte-identical to a set without the topology machinery.
+	topo    cluster.Topology
+	nextKey atomic.Uint64
 
 	// mu guards the chunk/dedup/refcount maps. It is a RWMutex so the
 	// hot fetch path (Get/Peek: two map lookups) runs under a shared
@@ -63,6 +69,10 @@ type ProviderSet struct {
 	// no live copy at all (ErrNoReplica); Rereplicated counts chunk
 	// copies re-created on substitute providers after a node death.
 	Failovers, FailedReads, Rereplicated atomic.Int64
+	// tierReads counts chunk reads by the locality tier between the
+	// reader and the provider that served it (everything lands in
+	// TierRack on a flat topology, TierLocal when reader == provider).
+	tierReads [cluster.NumTiers]atomic.Int64
 }
 
 // NewProviderSet creates a chunk store over the given nodes with the
@@ -100,6 +110,23 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 
 // EnableDedup turns on content deduplication for subsequent Puts.
 func (ps *ProviderSet) EnableDedup() { ps.dedup = true }
+
+// SetTopology makes placement and reads locality-aware (see the topo
+// field). Call it right after construction, before any chunk traffic:
+// placement must not change under stored chunks, or their ring walks
+// would resolve to different replicas than the ones holding the data.
+func (ps *ProviderSet) SetTopology(t cluster.Topology) { ps.topo = t }
+
+// TierReads returns the chunk reads served per locality tier, indexed
+// by cluster.Tier — the distribution topology-aware selection shifts
+// toward the near tiers.
+func (ps *ProviderSet) TierReads() [cluster.NumTiers]int64 {
+	var out [cluster.NumTiers]int64
+	for i := range ps.tierReads {
+		out[i] = ps.tierReads[i].Load()
+	}
+	return out
+}
 
 // fingerprint derives a content identity for a payload: an FNV-1a
 // hash of real bytes, or the (size, tag) pair for synthetic payloads.
@@ -180,15 +207,72 @@ func (ps *ProviderSet) primarySlot(key ChunkKey) int {
 }
 
 // Replicas returns the provider nodes responsible for a key, primary
-// first.
+// first. Without a topology the ring is walked consecutively (§3.1.3
+// round-robin striping). With one, the walk spreads the copies across
+// failure domains: the first pass only takes nodes in zones no earlier
+// replica occupies, the second pass fresh racks, and the final pass
+// fills any remainder in plain ring order — so a chunk at replication
+// degree z survives z-1 zone losses, and the degenerate single-domain
+// topology reproduces the flat ring walk exactly.
 func (ps *ProviderSet) Replicas(key ChunkKey) []cluster.NodeID {
 	n := len(ps.nodes)
 	first := ps.primarySlot(key)
 	out := make([]cluster.NodeID, 0, ps.replicas)
-	for i := 0; i < ps.replicas; i++ {
-		out = append(out, ps.nodes[(first+i)%n])
+	if !ps.topo.Enabled() || ps.replicas == 1 {
+		for i := 0; i < ps.replicas; i++ {
+			out = append(out, ps.nodes[(first+i)%n])
+		}
+		return out
+	}
+	usedZones := make([]int, 0, ps.replicas)
+	usedRacks := make([]int, 0, ps.replicas)
+	taken := make([]bool, n)
+	for pass := 0; pass < 3 && len(out) < ps.replicas; pass++ {
+		for i := 0; i < n && len(out) < ps.replicas; i++ {
+			slot := (first + i) % n
+			if taken[slot] {
+				continue
+			}
+			nd := ps.nodes[slot]
+			if pass == 0 && containsInt(usedZones, ps.topo.Zone(nd)) {
+				continue
+			}
+			if pass == 1 && containsInt(usedRacks, ps.topo.Rack(nd)) {
+				continue
+			}
+			taken[slot] = true
+			usedZones = append(usedZones, ps.topo.Zone(nd))
+			usedRacks = append(usedRacks, ps.topo.Rack(nd))
+			out = append(out, nd)
+		}
 	}
 	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// orderByLocality stably reorders a location list so the reader's
+// nearest copies come first; within a tier the existing failover order
+// is preserved. A disabled topology leaves the order untouched. The
+// sort is an adjacent-swap insertion sort: location lists are a
+// handful of entries, and adjacent swaps keep it stable.
+func (ps *ProviderSet) orderByLocality(reader cluster.NodeID, locs []cluster.NodeID) {
+	if !ps.topo.Enabled() || len(locs) < 2 {
+		return
+	}
+	for i := 1; i < len(locs); i++ {
+		ti := ps.topo.Tier(reader, locs[i])
+		for j := i; j > 0 && ps.topo.Tier(reader, locs[j-1]) > ti; j-- {
+			locs[j-1], locs[j] = locs[j], locs[j-1]
+		}
+	}
 }
 
 // Kill marks a provider as failed: it stops serving reads and accepting
@@ -377,6 +461,10 @@ func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 	if !ok {
 		return Payload{}, notFound("chunk", key)
 	}
+	// Nearest live copy first: reorder the failover list by the
+	// reader's locality tier (a no-op on the flat topology), keeping
+	// the existing order within each tier.
+	ps.orderByLocality(ctx.Node(), locs)
 	prov := cluster.NodeID(-1)
 	probes, failover := 0, false
 	for i, r := range locs {
@@ -403,6 +491,7 @@ func (ps *ProviderSet) Get(ctx *cluster.Ctx, key ChunkKey) (Payload, error) {
 	ctx.RPC(prov, 32, int64(p.Size))
 	ps.Reads.Add(1)
 	ps.readsBy[prov].Add(1)
+	ps.tierReads[ps.topo.Tier(ctx.Node(), prov)].Add(1)
 	return p, nil
 }
 

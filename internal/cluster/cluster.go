@@ -35,6 +35,10 @@ type Config struct {
 	// the disk cost, which is the mechanism behind BlobSeer's fast
 	// asynchronous COMMIT acknowledgements (paper §5.3).
 	WriteBuffer int64
+	// Topology optionally arranges the nodes into zones and racks with
+	// tiered links (see Topology). The zero value keeps the flat
+	// single-switch cluster of §5.1.
+	Topology Topology
 }
 
 // DefaultConfig returns the Grid'5000 Nancy cluster constants of §5.1.
@@ -60,6 +64,9 @@ func (c Config) validate() error {
 	}
 	if c.WriteBuffer <= 0 {
 		return fmt.Errorf("cluster: WriteBuffer must be positive")
+	}
+	if err := c.Topology.Validate(c.Nodes); err != nil {
+		return err
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"os"
+	"strconv"
 
 	"blobvfs/internal/sim"
 	"blobvfs/internal/sim/flownet"
@@ -30,6 +31,25 @@ type Sim struct {
 	disks   []*sim.PSPool
 	wbuf    []*sim.Semaphore
 	traffic int64
+
+	// Tier links of the configured topology (nil slices on the flat
+	// cluster): per-rack uplink/downlink pairs indexed by global rack,
+	// and per-zone interconnect pairs indexed by zone. Cross-rack
+	// traffic traverses both endpoints' rack links; cross-zone traffic
+	// additionally traverses both zones' interconnect links.
+	rackUp, rackDown []*flownet.Link
+	zoneUp, zoneDown []*flownet.Link
+	// tierBytes accounts off-node traffic by locality tier (the flat
+	// cluster books everything under TierRack). Fixed-size array, so
+	// iteration over tiers is inherently ordered.
+	tierBytes [NumTiers]int64
+}
+
+// linkName builds a link's diagnostic name without fmt: NewSim creates
+// four named resources per node (plus tier links), and Sprintf on that
+// setup path is measurable at the 10k-node scale.
+func linkName(prefix string, i int, suffix string) string {
+	return prefix + strconv.Itoa(i) + suffix
 }
 
 // NewSim returns a simulated fabric with the given configuration.
@@ -48,10 +68,28 @@ func NewSim(cfg Config) *Sim {
 		wbuf:  make([]*sim.Semaphore, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		f.up[i] = f.net.NewLink(fmt.Sprintf("n%d.up", i), cfg.NICBandwidth)
-		f.down[i] = f.net.NewLink(fmt.Sprintf("n%d.down", i), cfg.NICBandwidth)
-		f.disks[i] = sim.NewPSPool(env, fmt.Sprintf("n%d.disk", i), cfg.DiskBandwidth)
+		f.up[i] = f.net.NewLink(linkName("n", i, ".up"), cfg.NICBandwidth)
+		f.down[i] = f.net.NewLink(linkName("n", i, ".down"), cfg.NICBandwidth)
+		f.disks[i] = sim.NewPSPool(env, linkName("n", i, ".disk"), cfg.DiskBandwidth)
 		f.wbuf[i] = sim.NewSemaphore(env, cfg.WriteBuffer)
+	}
+	// Tier links are created after every node link, so node link
+	// identities (the flownet tie-break order) are unchanged whether or
+	// not a topology is configured.
+	if topo := cfg.Topology; topo.Enabled() {
+		racks := topo.Racks()
+		f.rackUp = make([]*flownet.Link, racks)
+		f.rackDown = make([]*flownet.Link, racks)
+		for r := 0; r < racks; r++ {
+			f.rackUp[r] = f.net.NewLink(linkName("r", r, ".up"), topo.RackBandwidth)
+			f.rackDown[r] = f.net.NewLink(linkName("r", r, ".down"), topo.RackBandwidth)
+		}
+		f.zoneUp = make([]*flownet.Link, topo.Zones)
+		f.zoneDown = make([]*flownet.Link, topo.Zones)
+		for z := 0; z < topo.Zones; z++ {
+			f.zoneUp[z] = f.net.NewLink(linkName("z", z, ".up"), topo.ZoneBandwidth)
+			f.zoneDown[z] = f.net.NewLink(linkName("z", z, ".down"), topo.ZoneBandwidth)
+		}
 	}
 	return f
 }
@@ -85,8 +123,31 @@ func (f *Sim) Now() float64 { return f.env.Now() }
 // NetTraffic returns cumulative off-node traffic in bytes.
 func (f *Sim) NetTraffic() int64 { return f.traffic }
 
-// ResetTraffic zeroes the traffic counter.
-func (f *Sim) ResetTraffic() { f.traffic = 0 }
+// TierTraffic returns cumulative off-node traffic in bytes that
+// crossed the given locality tier: TierRack for intra-rack exchanges
+// (all off-node traffic of a flat cluster), TierZone for cross-rack,
+// TierRemote for cross-zone — the scarce bytes of a multi-zone
+// deployment.
+func (f *Sim) TierTraffic(t Tier) int64 { return f.tierBytes[t] }
+
+// CrossZoneBytes returns the cumulative traffic that crossed a zone
+// interconnect. It is the headline metric of topology-aware placement:
+// shorthand for TierTraffic(TierRemote).
+func (f *Sim) CrossZoneBytes() int64 { return f.tierBytes[TierRemote] }
+
+// RackUplink returns rack r's uplink (nil without a topology); its
+// TotalBytes is the per-rack egress, indexed in sorted rack order.
+func (f *Sim) RackUplink(r int) *flownet.Link { return f.rackUp[r] }
+
+// ZoneUplink returns zone z's interconnect uplink (nil without a
+// topology).
+func (f *Sim) ZoneUplink(z int) *flownet.Link { return f.zoneUp[z] }
+
+// ResetTraffic zeroes the traffic counters (total and per-tier).
+func (f *Sim) ResetTraffic() {
+	f.traffic = 0
+	f.tierBytes = [NumTiers]int64{}
+}
 
 // Run executes fn as the root activity on node 0 and drives the
 // simulation until the event queue drains. Setting BLOBVFS_SIM_DEBUG
@@ -147,8 +208,10 @@ func (f *Sim) rpc(ctx *Ctx, from, to NodeID, reqBytes, respBytes int64) {
 		p.Sleep(f.cfg.LocalRPC)
 		return
 	}
+	tier := f.cfg.Topology.Tier(from, to)
 	f.traffic += reqBytes + respBytes
-	delay := f.cfg.RTT + f.cfg.ReqOverhead
+	f.tierBytes[tier] += reqBytes + respBytes
+	delay := f.cfg.RTT + f.cfg.ReqOverhead + f.tierLatency(tier)
 	if reqBytes > 0 && reqBytes <= smallPayload {
 		delay += float64(reqBytes) / f.cfg.NICBandwidth
 		reqBytes = 0
@@ -159,11 +222,45 @@ func (f *Sim) rpc(ctx *Ctx, from, to NodeID, reqBytes, respBytes int64) {
 	}
 	p.Sleep(delay)
 	if reqBytes > 0 {
-		f.net.Transfer(p, float64(reqBytes), f.up[from], f.down[to])
+		f.net.Transfer(p, float64(reqBytes), f.pathLinks(from, to, tier, nil)...)
 	}
 	if respBytes > 0 {
-		f.net.Transfer(p, float64(respBytes), f.up[to], f.down[from])
+		f.net.Transfer(p, float64(respBytes), f.pathLinks(to, from, tier, nil)...)
 	}
+}
+
+// tierLatency returns the extra round-trip cost of a path's locality
+// tier: zero within a rack (and on the flat cluster), the topology's
+// rack latency for cross-rack paths, its zone latency for cross-zone.
+func (f *Sim) tierLatency(tier Tier) float64 {
+	switch tier {
+	case TierZone:
+		return f.cfg.Topology.RackLatency
+	case TierRemote:
+		return f.cfg.Topology.ZoneLatency
+	}
+	return 0
+}
+
+// pathLinks assembles the constraint links of a one-way transfer from
+// src to dst whose locality tier is already known: the endpoint NICs
+// always, the two rack uplinks when the path leaves a rack, and the
+// two zone interconnects when it leaves a zone. extra links (caller
+// throttles) are appended last. On the flat cluster this is exactly
+// the historical up/down pair.
+func (f *Sim) pathLinks(src, dst NodeID, tier Tier, extra []*flownet.Link) []*flownet.Link {
+	links := make([]*flownet.Link, 0, 6+len(extra))
+	links = append(links, f.up[src])
+	if tier >= TierZone {
+		topo := f.cfg.Topology
+		links = append(links, f.rackUp[topo.Rack(src)])
+		if tier == TierRemote {
+			links = append(links, f.zoneUp[topo.Zone(src)], f.zoneDown[topo.Zone(dst)])
+		}
+		links = append(links, f.rackDown[topo.Rack(dst)])
+	}
+	links = append(links, f.down[dst])
+	return append(links, extra...)
 }
 
 // TransferVia performs a raw one-way bulk transfer from one node to
@@ -178,10 +275,11 @@ func (f *Sim) TransferVia(ctx *Ctx, from, to NodeID, bytes int64, extra ...*flow
 	if bytes <= 0 || from == to {
 		return
 	}
+	tier := f.cfg.Topology.Tier(from, to)
 	f.traffic += bytes
-	ctx.Proc.Sleep(f.cfg.RTT)
-	links := append([]*flownet.Link{f.up[from], f.down[to]}, extra...)
-	f.net.Transfer(ctx.Proc, float64(bytes), links...)
+	f.tierBytes[tier] += bytes
+	ctx.Proc.Sleep(f.cfg.RTT + f.tierLatency(tier))
+	f.net.Transfer(ctx.Proc, float64(bytes), f.pathLinks(from, to, tier, extra)...)
 }
 
 // seekCost converts positioning time into equivalent bandwidth units so

@@ -99,7 +99,7 @@ func RunChurn(p Params, cc ChurnConfig) ChurnPoint {
 		cc.HotBytes = p.ImageSize
 	}
 
-	sp := newSmallPool(p, cc.Instances, cc.Providers, cc.Sharing, p2p.DefaultConfig())
+	sp := newSmallPool(p, cc.Instances, cc.Providers, cc.Sharing, p2p.DefaultConfig(), cluster.Topology{})
 	sys := sp.Sys
 	if cc.KeepLast > 0 {
 		sp.Orch.Retention = middleware.RetentionPolicy{KeepLast: cc.KeepLast}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"blobvfs/internal/cluster"
+)
+
+// TestCrossZoneAwarenessCutsInterconnectTraffic is the scenario's
+// acceptance property: over the identical zoned fabric, switching the
+// repo from the flat policy to topology awareness must cut the bytes
+// crossing zone interconnects at least in half, with and without p2p
+// sharing (the remaining cross-zone traffic is the tracker and
+// version-manager chatter plus the first seeding of each zone).
+func TestCrossZoneAwarenessCutsInterconnectTraffic(t *testing.T) {
+	p := Quick()
+	for _, sharing := range []bool{false, true} {
+		cz := CrossZoneConfig{InstancesPerZone: 16, Sharing: sharing}
+		flat := RunCrossZone(p, cz)
+		cz.Aware = true
+		aware := RunCrossZone(p, cz)
+
+		if flat.CrossZoneBytes == 0 {
+			t.Fatalf("sharing=%v: flat run crossed no zone boundary", sharing)
+		}
+		if aware.CrossZoneBytes*2 > flat.CrossZoneBytes {
+			t.Errorf("sharing=%v: awareness cut cross-zone bytes only %d -> %d, want >= 2x",
+				sharing, flat.CrossZoneBytes, aware.CrossZoneBytes)
+		}
+		// The per-tier counters must decompose the fabric total.
+		for _, pt := range []CrossZonePoint{flat, aware} {
+			var sum int64
+			for _, b := range pt.TierBytes {
+				sum += b
+			}
+			if total := int64(math.Round(pt.TrafficGB * 1e9)); sum != total {
+				t.Errorf("sharing=%v aware=%v: tier bytes sum %d != total traffic %d",
+					sharing, pt.Aware, sum, total)
+			}
+		}
+		// Aware placement pins one replica in every zone, so no chunk
+		// read has to leave its zone: every provider read books at
+		// rack distance or closer except the ones the flat policy
+		// cannot classify.
+		if aware.ProviderTierReads[cluster.TierRemote] != 0 {
+			t.Errorf("sharing=%v: %d aware provider reads crossed zones, want 0",
+				sharing, aware.ProviderTierReads[cluster.TierRemote])
+		}
+	}
+}
+
+// TestCrossZoneDeterministic: the scenario is bit-for-bit repeatable
+// in both policies, tier counters included.
+func TestCrossZoneDeterministic(t *testing.T) {
+	p := Quick()
+	for _, aware := range []bool{false, true} {
+		cz := CrossZoneConfig{InstancesPerZone: 8, Aware: aware, Sharing: true}
+		a := RunCrossZone(p, cz)
+		b := RunCrossZone(p, cz)
+		if a != b {
+			t.Errorf("cross-zone (aware=%v) not deterministic:\n  %+v\n  %+v", aware, a, b)
+		}
+	}
+}
+
+// TestFlashCrowdSingleZoneTopologyMatchesFlat pins the tentpole's
+// degenerate case end to end: the flash crowd on a fabric whose
+// topology puts every node in one zone and one rack — tier links
+// created, placement, replica ordering and peer selection all running
+// their topology-aware code paths — reproduces the plain flat-cluster
+// run byte-identically, p2p statistics included.
+func TestFlashCrowdSingleZoneTopologyMatchesFlat(t *testing.T) {
+	p := Quick()
+	nic := cluster.DefaultConfig(1).NICBandwidth
+	fc := FlashCrowdConfig{Instances: 16, Providers: 4, Sharing: true}
+	flat := RunFlashCrowd(p, fc)
+	fc.Topology = cluster.Topology{
+		Zones: 1, RacksPerZone: 1, NodesPerRack: fc.Instances + fc.Providers + 1,
+		RackBandwidth: nic, ZoneBandwidth: nic,
+	}
+	single := RunFlashCrowd(p, fc)
+	// Topology is not part of the point; everything measured must be.
+	if flat != single {
+		t.Errorf("single-zone topology diverged from flat flash crowd:\n  flat:   %+v\n  single: %+v",
+			flat, single)
+	}
+}

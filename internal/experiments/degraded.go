@@ -117,7 +117,7 @@ func RunDegraded(p Params, dc DegradedConfig) DegradedPoint {
 	}
 	extra = append(extra, blobvfs.WithReplicas(dc.Replicas))
 
-	sp := newSmallPool(p, dc.Instances, dc.Providers, dc.Sharing, dc.P2P, extra...)
+	sp := newSmallPool(p, dc.Instances, dc.Providers, dc.Sharing, dc.P2P, cluster.Topology{}, extra...)
 
 	var dep *middleware.DeployResult
 	sp.Fab.Run(func(ctx *cluster.Ctx) {

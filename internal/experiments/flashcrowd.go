@@ -33,6 +33,11 @@ type FlashCrowdConfig struct {
 	// P2P carries the sharing protocol constants (zero value →
 	// p2p.DefaultConfig).
 	P2P p2p.Config
+	// Topology optionally arranges the cluster into zones and racks
+	// (fabric tier links + topology-aware placement and peer
+	// selection). The zero value keeps the historical flat cluster; a
+	// single-zone, single-rack topology reproduces it byte-identically.
+	Topology cluster.Topology
 }
 
 // FlashCrowdPoint reports one flash-crowd run.
@@ -69,7 +74,7 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 		fc.P2P = p2p.DefaultConfig()
 	}
 
-	sp := newSmallPool(p, fc.Instances, fc.Providers, fc.Sharing, fc.P2P)
+	sp := newSmallPool(p, fc.Instances, fc.Providers, fc.Sharing, fc.P2P, fc.Topology)
 	gets0, nodes0 := sp.Sys.Meta.Gets.Load(), sp.Sys.Meta.NodesServed.Load()
 
 	var dep *middleware.DeployResult

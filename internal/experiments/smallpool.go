@@ -30,13 +30,17 @@ type smallPool struct {
 }
 
 // newSmallPool builds the scenario. p2pCfg is only consulted when
-// sharing is true; extra options (replication overrides, fault plans)
-// are applied after the base ones, so they win.
-func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.Config, extra ...blobvfs.Option) *smallPool {
+// sharing is true; a non-zero topo arranges the fabric's nodes into
+// tiers AND makes the repo topology-aware (the two sides always move
+// together here — the cross-zone scenario, which needs them split,
+// has its own scaffolding); extra options (replication overrides,
+// fault plans) are applied after the base ones, so they win.
+func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.Config, topo cluster.Topology, extra ...blobvfs.Option) *smallPool {
 	cfg := cluster.DefaultConfig(instances + providers + 1)
 	if p.WriteBuffer > 0 {
 		cfg.WriteBuffer = p.WriteBuffer
 	}
+	cfg.Topology = topo
 	sp := &smallPool{Fab: cluster.NewSim(cfg)}
 	var provNodes []cluster.NodeID
 	for i := 0; i < instances; i++ {
@@ -55,6 +59,9 @@ func newSmallPool(p Params, instances, providers int, sharing bool, p2pCfg p2p.C
 	}
 	if sharing {
 		opts = append(opts, blobvfs.WithP2P(p2pCfg))
+	}
+	if topo.Enabled() {
+		opts = append(opts, blobvfs.WithTopology(topo))
 	}
 	opts = append(opts, extra...)
 	repo, err := blobvfs.Open(sp.Fab, opts...)

@@ -40,6 +40,13 @@ type Stats struct {
 	Misses       int64 // fell back to providers: no sibling holds it
 	Saturated    int64 // fell back: every holder at MaxUploads
 	DigestPushes int64 // location deltas broadcast to the cohort
+
+	// TierHits breaks PeerHits down by the locality tier between the
+	// requester and the chosen uploader (indexed by cluster.Tier).
+	// Without a topology every hit lands in cluster.TierRack —
+	// locality-aware selection is what moves mass toward the low
+	// tiers.
+	TierHits [cluster.NumTiers]int64
 }
 
 // Registry is the tracker-side sharing state: one Cohort per image.
@@ -51,6 +58,11 @@ type Registry struct {
 	// members are ignored. Wire NodeChanged as its OnChange listener
 	// so a death also drops the member's location records.
 	lv *cluster.Liveness
+	// topo, when enabled, makes Locate's pick locality-first: among
+	// live holders with free upload slots, the nearest tier wins and
+	// load only breaks ties within a tier. The zero topology keeps
+	// the pure least-loaded pick byte-identical.
+	topo cluster.Topology
 
 	// mu is an RWMutex: cohort lookup sits on every module's fetch
 	// path, while registration and reclamation are rare, so readers
@@ -62,6 +74,10 @@ type Registry struct {
 // SetLiveness attaches the cluster liveness registry (see Registry.lv).
 // Call it before any cohort traffic.
 func (r *Registry) SetLiveness(lv *cluster.Liveness) { r.lv = lv }
+
+// SetTopology attaches the cluster topology (see Registry.topo). Call
+// it before any cohort traffic.
+func (r *Registry) SetTopology(t cluster.Topology) { r.topo = t }
 
 // peerAlive reports whether a node may serve or announce chunks: true
 // without a liveness registry (no fault injection configured).
@@ -463,6 +479,7 @@ func (co *Cohort) Locate(ctx *cluster.Ctx, key blob.ChunkKey) (cluster.NodeID, f
 	}
 	co.uploads[peer]++
 	co.stats.PeerHits++
+	co.stats.TierHits[co.reg.topo.Tier(req, peer)]++
 	co.mu.Unlock()
 	release := func() {
 		co.mu.Lock()
@@ -472,15 +489,19 @@ func (co *Cohort) Locate(ctx *cluster.Ctx, key blob.ChunkKey) (cluster.NodeID, f
 	return peer, release, true
 }
 
-// pickLocked chooses the least-loaded eligible holder (deterministic:
-// first-announced wins ties). Holders the liveness registry reports
-// dead are never eligible — the record drop of dropDeadMember and this
-// check together guarantee a dead uploader is never selected, even in
-// the window before the drop ran. any reports whether a non-self
-// holder existed at all, so the caller can distinguish miss from
-// saturation.
+// pickLocked chooses the eligible holder by locality first, load
+// second (deterministic: first-announced wins ties). With a topology
+// attached, a holder in a nearer tier always beats a farther one and
+// the load comparison only breaks ties within a tier; without one,
+// every holder is the same tier and the pick is the historical pure
+// least-loaded choice. Holders the liveness registry reports dead are
+// never eligible — the record drop of dropDeadMember and this check
+// together guarantee a dead uploader is never selected, even in the
+// window before the drop ran. any reports whether a non-self holder
+// existed at all, so the caller can distinguish miss from saturation.
 func (co *Cohort) pickLocked(holders []cluster.NodeID, req cluster.NodeID) (best cluster.NodeID, any, found bool) {
 	maxUp := co.reg.cfg.MaxUploads
+	var bestTier cluster.Tier
 	for _, h := range holders {
 		if h == req || !co.reg.peerAlive(h) {
 			continue
@@ -490,8 +511,9 @@ func (co *Cohort) pickLocked(holders []cluster.NodeID, req cluster.NodeID) (best
 		if maxUp > 0 && load >= maxUp {
 			continue
 		}
-		if !found || load < co.uploads[best] {
-			best, found = h, true
+		tier := co.reg.topo.Tier(req, h)
+		if !found || tier < bestTier || (tier == bestTier && load < co.uploads[best]) {
+			best, bestTier, found = h, tier, true
 		}
 	}
 	return best, any, found

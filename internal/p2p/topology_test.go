@@ -1,0 +1,99 @@
+package p2p
+
+import (
+	"testing"
+
+	"blobvfs/internal/blob"
+	"blobvfs/internal/cluster"
+)
+
+// topo2z splits 8 nodes into 2 zones × 2 racks × 2 nodes (node 7, the
+// tracker, sits in zone 1).
+func topo2z() cluster.Topology {
+	return cluster.Topology{Zones: 2, RacksPerZone: 2, NodesPerRack: 2,
+		RackBandwidth: 1, ZoneBandwidth: 1}
+}
+
+// TestPickPrefersNearTierOverLoad: locality outranks load — a loaded
+// same-rack holder beats an idle cross-zone one; within a tier the
+// least-loaded holder still wins.
+func TestPickPrefersNearTierOverLoad(t *testing.T) {
+	fab := cluster.NewLive(8)
+	reg, co := newCohort(t, fab, DefaultConfig(), []cluster.NodeID{0, 1, 2, 4, 5})
+	reg.SetTopology(topo2z())
+	// Holders: node 1 (same rack as requester 0), nodes 4 and 5
+	// (other zone).
+	runOn(fab, 1, func(ctx *cluster.Ctx) { co.Announce(ctx, []blob.ChunkKey{7}) })
+	runOn(fab, 4, func(ctx *cluster.Ctx) { co.Announce(ctx, []blob.ChunkKey{7}) })
+	runOn(fab, 5, func(ctx *cluster.Ctx) { co.Announce(ctx, []blob.ChunkKey{7}) })
+	runOn(fab, 0, func(ctx *cluster.Ctx) {
+		// Occupy 3 of node 1's 4 upload slots: it stays the pick
+		// because it is a tier closer, despite the load.
+		var releases []func()
+		for i := 0; i < 3; i++ {
+			peer, release, ok := co.Locate(ctx, 7)
+			if !ok || peer != 1 {
+				t.Fatalf("Locate #%d = (%d, %v), want same-rack node 1", i, peer, ok)
+			}
+			releases = append(releases, release)
+		}
+		// Saturate the 4th slot: the pick falls outward to the other
+		// zone, least-loaded first.
+		_, last, ok := co.Locate(ctx, 7)
+		if !ok {
+			t.Fatal("Locate failed with free slots remaining")
+		}
+		peer, release, ok := co.Locate(ctx, 7)
+		if !ok || (peer != 4 && peer != 5) {
+			t.Fatalf("Locate past saturation = (%d, %v), want a zone-1 holder", peer, ok)
+		}
+		release()
+		last()
+		for _, r := range releases {
+			r()
+		}
+	})
+	st := co.Stats()
+	if st.TierHits[cluster.TierRack] != 4 || st.TierHits[cluster.TierRemote] != 1 {
+		t.Errorf("TierHits = %v, want 4 rack / 1 remote", st.TierHits)
+	}
+}
+
+// TestPickWithoutTopologyStaysLeastLoaded pins the degenerate case:
+// no topology (or one domain for everyone) keeps the historical pure
+// least-loaded pick, and every hit books under TierRack.
+func TestPickWithoutTopologyStaysLeastLoaded(t *testing.T) {
+	for _, topo := range []cluster.Topology{
+		{},
+		{Zones: 1, RacksPerZone: 1, NodesPerRack: 8, RackBandwidth: 1, ZoneBandwidth: 1},
+	} {
+		fab := cluster.NewLive(8)
+		reg, co := newCohort(t, fab, DefaultConfig(), []cluster.NodeID{0, 1, 2, 4, 5})
+		if topo.Enabled() {
+			reg.SetTopology(topo)
+		}
+		runOn(fab, 1, func(ctx *cluster.Ctx) { co.Announce(ctx, []blob.ChunkKey{7}) })
+		runOn(fab, 4, func(ctx *cluster.Ctx) { co.Announce(ctx, []blob.ChunkKey{7}) })
+		runOn(fab, 0, func(ctx *cluster.Ctx) {
+			// First pick takes the first-announced holder; holding its
+			// slot makes the second pick the other, less-loaded one.
+			p1, r1, ok := co.Locate(ctx, 7)
+			if !ok {
+				t.Fatal("Locate found no holder")
+			}
+			p2, r2, ok := co.Locate(ctx, 7)
+			if !ok {
+				t.Fatal("Locate found no second holder")
+			}
+			if p1 == p2 {
+				t.Errorf("least-loaded pick reused node %d over an idle holder", p1)
+			}
+			r1()
+			r2()
+		})
+		st := co.Stats()
+		if st.TierHits[cluster.TierRack] != 2 {
+			t.Errorf("topo %+v: TierHits = %v, want both hits under rack", topo, st.TierHits)
+		}
+	}
+}

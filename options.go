@@ -20,6 +20,7 @@ type config struct {
 	retainLast int // 0 disables the repo-level retention default
 	dedup      bool
 	faults     []FaultEvent
+	topo       Topology
 }
 
 // Option configures a Repo at Open.
@@ -97,6 +98,26 @@ func WithDedup() Option {
 	return func(c *config) { c.dedup = true }
 }
 
+// WithTopology makes the repository topology-aware: chunk placement
+// spreads a key's replicas across failure domains (distinct zones
+// first, then distinct racks), reads probe the reader's nearest live
+// copy first, and — with WithP2P — cohort peer selection prefers a
+// same-rack holder, then same-zone, then remote, with load only
+// breaking ties within a tier. The topology describes the whole
+// fabric (Zones × RacksPerZone × NodesPerRack must equal the cluster
+// size) and normally mirrors the simulated fabric's cluster-config
+// topology, so the policy matches the modeled tier links.
+//
+// Awareness is deliberately opt-in: a repo opened without WithTopology
+// keeps flat round-robin placement and pure least-loaded peer picks
+// even on a fabric that models tiered links — that flat-policy
+// baseline is what the cross-zone scenario measures against. A
+// single-zone, single-rack topology is the degenerate case and
+// reproduces the flat behavior byte-identically.
+func WithTopology(t Topology) Option {
+	return func(c *config) { c.topo = t }
+}
+
 // WithFaultPlan configures a fault-injection plan: each event kills or
 // revives one node at an absolute virtual time (build them with KillAt
 // and ReviveAt). The plan does not run by itself — call Repo.ArmFaults
@@ -139,6 +160,9 @@ func (c *config) validate(nodes int) error {
 		return fmt.Errorf("blobvfs: retention window %d: %w", c.retainLast, ErrOutOfRange)
 	}
 	if err := cluster.ValidateFaults(c.faults, nodes); err != nil {
+		return fmt.Errorf("blobvfs: %w: %w", err, ErrOutOfRange)
+	}
+	if err := c.topo.Validate(nodes); err != nil {
 		return fmt.Errorf("blobvfs: %w: %w", err, ErrOutOfRange)
 	}
 	return nil

@@ -83,11 +83,17 @@ func Open(fab Fabric, opts ...Option) (*Repo, error) {
 	if cfg.dedup {
 		r.sys.Providers.EnableDedup()
 	}
+	if cfg.topo.Enabled() {
+		r.sys.Providers.SetTopology(cfg.topo)
+	}
 	r.liveness = cluster.NewLiveness(fab.Nodes())
 	r.liveness.OnChange(r.sys.Providers.NodeChanged)
 	if cfg.p2p != nil {
 		r.sharing = p2p.NewRegistry(cfg.manager, *cfg.p2p)
 		r.sharing.SetLiveness(r.liveness)
+		if cfg.topo.Enabled() {
+			r.sharing.SetTopology(cfg.topo)
+		}
 		r.liveness.OnChange(r.sharing.NodeChanged)
 	}
 	return r, nil

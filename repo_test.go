@@ -179,6 +179,11 @@ func TestOpenValidation(t *testing.T) {
 		{"provider outside cluster", []blobvfs.Option{blobvfs.WithProviders(7)}},
 		{"manager outside cluster", []blobvfs.Option{blobvfs.WithManager(11)}},
 		{"negative retention", []blobvfs.Option{blobvfs.WithRetention(-1)}},
+		{"topology not covering cluster", []blobvfs.Option{blobvfs.WithTopology(
+			blobvfs.Topology{Zones: 2, RacksPerZone: 1, NodesPerRack: 3,
+				RackBandwidth: 1, ZoneBandwidth: 1})}},
+		{"topology zero bandwidth", []blobvfs.Option{blobvfs.WithTopology(
+			blobvfs.Topology{Zones: 2, RacksPerZone: 1, NodesPerRack: 2})}},
 	} {
 		if _, err := blobvfs.Open(fab, tc.opts...); !errors.Is(err, blobvfs.ErrOutOfRange) {
 			t.Errorf("%s: Open err = %v, want ErrOutOfRange", tc.name, err)
@@ -187,6 +192,42 @@ func TestOpenValidation(t *testing.T) {
 	if _, err := blobvfs.Open(nil); err == nil {
 		t.Error("Open(nil) succeeded")
 	}
+}
+
+// TestWithTopologyRoundTrip: a topology-aware repo on the live fabric
+// stores and returns the same bytes as a flat one — zone-spread
+// placement and nearest-first reads change where copies live, never
+// what a read returns.
+func TestWithTopologyRoundTrip(t *testing.T) {
+	fab, repo := newRepo(t, 8,
+		blobvfs.WithReplicas(2),
+		blobvfs.WithP2P(),
+		blobvfs.WithTopology(blobvfs.Topology{
+			Zones: 2, RacksPerZone: 2, NodesPerRack: 2,
+			RackBandwidth: 1e9, ZoneBandwidth: 1e9,
+		}))
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		want := img(64<<10, 3)
+		ref, err := repo.Create(ctx, "base", want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read from a node in each zone: both must see identical bytes.
+		for _, node := range []blobvfs.NodeID{1, 6} {
+			node := node
+			task := ctx.Go("read", node, func(rctx *blobvfs.Ctx) {
+				got := make([]byte, len(want))
+				if err := repo.Download(rctx, ref, got); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("node %d read wrong bytes through aware placement", node)
+				}
+			})
+			ctx.Wait(task)
+		}
+	})
 }
 
 func TestRequestValidation(t *testing.T) {

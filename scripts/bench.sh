@@ -3,13 +3,20 @@
 # figure regenerations plus the metadata hot-path microbenchmarks —
 # with allocation reporting, and writes the raw output to bench.txt
 # (the artifact CI uploads, and the input `benchstat old.txt new.txt`
-# compares across commits).
+# compares across commits). It then distills the flash-crowd family
+# (flash, degraded, crosszone) into BENCH_flashcrowd.json via
+# cmd/benchjson: provider reads, cross-zone bytes (flat vs
+# topology-aware, with the reduction factor) and ns/op, for dashboards
+# that don't want to parse Go benchmark output.
 #
-# Usage: scripts/bench.sh [output-file]
+# Usage: scripts/bench.sh [output-file] [json-file]
 set -eu
 
 out="${1:-bench.txt}"
+json="${2:-BENCH_flashcrowd.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
+  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkFlashCrowdCrossZone|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
   -benchmem -count=1 -cpu 1,8 -timeout 30m . | tee "$out"
+
+go run ./cmd/benchjson -in "$out" -out "$json"
