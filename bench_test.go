@@ -276,6 +276,63 @@ func BenchmarkFlashCrowdCrossZone(b *testing.B) {
 	}
 }
 
+// BenchmarkMultisnapshot1024 runs the paper's headline workload at
+// full fan-out: 1024 instances each committing a 16 MB diff (64 dirty
+// chunks) concurrently against a 4-node provider pool, over two rounds
+// (CLONE+COMMIT, then COMMIT), with the write path unbatched vs
+// batched (WithBatchedCommit). The headline metric is provider write
+// RPCs per commit round — chunk Puts plus metadata Puts — which
+// batching must cut by at least 4×; the guard fails the benchmark if
+// it ever regresses below that. The committed bytes and versions are
+// identical in both arms, so the RPC ratio is a pure protocol win.
+func BenchmarkMultisnapshot1024(b *testing.B) {
+	const (
+		instances = 1024
+		providers = 4
+		diffBytes = 16 << 20 // 64 dirty chunks of 256 KB per instance per round
+	)
+	run := func(batched bool) experiments.MultisnapshotPoint {
+		return experiments.RunMultisnapshot(experiments.Quick(), experiments.MultisnapshotConfig{
+			Instances: instances,
+			Providers: providers,
+			DiffBytes: diffBytes,
+			Batched:   batched,
+		})
+	}
+	var plain, batched experiments.MultisnapshotPoint
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "unbatched"
+		if on {
+			name = "batched"
+		}
+		b.Run(name, func(b *testing.B) {
+			var pt experiments.MultisnapshotPoint
+			for i := 0; i < b.N; i++ {
+				pt = run(on)
+			}
+			if on {
+				batched = pt
+			} else {
+				plain = pt
+			}
+			b.ReportMetric(pt.WriteRPCs, "write-RPCs/round")
+			b.ReportMetric(pt.ChunkPutRPCs, "chunk-put-RPCs/round")
+			b.ReportMetric(pt.MetaPutRPCs, "meta-put-RPCs/round")
+			b.ReportMetric(pt.ChunkWrites, "chunk-writes/round")
+			b.ReportMetric(pt.Completion, "completion-s")
+		})
+	}
+	if plain.WriteRPCs > 0 && batched.WriteRPCs > 0 {
+		ratio := plain.WriteRPCs / batched.WriteRPCs
+		b.ReportMetric(ratio, "write-RPC-reduction-x")
+		if ratio < 4 {
+			b.Fatalf("batched commit cut write RPCs only %.2fx (unbatched %.0f, batched %.0f per round), want >= 4x",
+				ratio, plain.WriteRPCs, batched.WriteRPCs)
+		}
+	}
+}
+
 // BenchmarkChurn runs the snapshot-lifecycle scenario at acceptance
 // scale: 32 instances, 8 write→snapshot cycles under keep-last-2
 // retention with garbage collection after every round. The headline

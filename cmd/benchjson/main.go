@@ -1,13 +1,18 @@
 // Command benchjson distills `go test -bench` output into a small
 // machine-readable artifact. scripts/bench.sh pipes the benchmark run
-// into bench.txt and then invokes this command to produce
-// BENCH_flashcrowd.json: every flash-crowd-family benchmark line
-// (flash, degraded, crosszone) with its ns/op and custom metrics
-// (provider reads, peer reads, completion, per-tier traffic), plus a
-// cross_zone summary with the flat and aware interconnect byte counts
-// and the reduction factor topology awareness achieved.
+// into bench.txt and then invokes this command once per family:
 //
-// Usage: benchjson [-in bench.txt] [-out BENCH_flashcrowd.json]
+//   - family flashcrowd → BENCH_flashcrowd.json: every
+//     flash-crowd-family benchmark line (flash, degraded, crosszone)
+//     with its ns/op and custom metrics, plus a cross_zone summary
+//     with the flat and aware interconnect byte counts and the
+//     reduction factor topology awareness achieved.
+//   - family multisnapshot → BENCH_multisnapshot.json: the
+//     multisnapshot write-path benchmark lines, plus a multisnapshot
+//     summary with the unbatched and batched write RPCs per commit
+//     round, the reduction factor, and both arms' ns/op.
+//
+// Usage: benchjson [-in bench.txt] [-out BENCH_<family>.json] [-family flashcrowd|multisnapshot]
 package main
 
 import (
@@ -40,10 +45,36 @@ type crossZone struct {
 	AwareProvReads float64 `json:"aware_provider_reads"`
 }
 
+// multisnapshot is the headline summary of the write-path batching:
+// provider write RPCs (chunk Puts + metadata Puts) per commit round in
+// the unbatched and batched arms, the reduction factor, and both arms'
+// wall-clock ns/op (cpu=1 rows; the simulation is deterministic).
+type multisnapshot struct {
+	UnbatchedWriteRPCs float64 `json:"unbatched_write_rpcs"`
+	BatchedWriteRPCs   float64 `json:"batched_write_rpcs"`
+	ReductionX         float64 `json:"reduction_x"`
+	UnbatchedNsOp      float64 `json:"unbatched_ns_op"`
+	BatchedNsOp        float64 `json:"batched_ns_op"`
+}
+
 func main() {
 	in := flag.String("in", "bench.txt", "benchmark output to parse")
-	out := flag.String("out", "BENCH_flashcrowd.json", "artifact to write")
+	family := flag.String("family", "flashcrowd", "benchmark family to distill: flashcrowd or multisnapshot")
+	out := flag.String("out", "", "artifact to write (default BENCH_<family>.json)")
 	flag.Parse()
+	prefix := ""
+	switch *family {
+	case "flashcrowd":
+		prefix = "BenchmarkFlashCrowd"
+	case "multisnapshot":
+		prefix = "BenchmarkMultisnapshot"
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = "BENCH_" + *family + ".json"
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -57,7 +88,7 @@ func main() {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		name, bl, ok := parseLine(sc.Text())
-		if !ok || !strings.HasPrefix(name, "BenchmarkFlashCrowd") {
+		if !ok || !strings.HasPrefix(name, prefix) {
 			continue
 		}
 		benches[name] = bl
@@ -67,17 +98,18 @@ func main() {
 		os.Exit(1)
 	}
 	if len(benches) == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: no flash-crowd benchmark lines in %s\n", *in)
+		fmt.Fprintf(os.Stderr, "benchjson: no %s benchmark lines in %s\n", *family, *in)
 		os.Exit(1)
 	}
 
 	doc := struct {
-		Benchmarks map[string]benchLine `json:"benchmarks"`
-		CrossZone  *crossZone           `json:"cross_zone,omitempty"`
+		Benchmarks    map[string]benchLine `json:"benchmarks"`
+		CrossZone     *crossZone           `json:"cross_zone,omitempty"`
+		Multisnapshot *multisnapshot       `json:"multisnapshot,omitempty"`
 	}{Benchmarks: benches}
 
-	// The cross-zone benchmark names are unsuffixed on the cpu=1 run
-	// (go test only appends -N for GOMAXPROCS > 1).
+	// Summary benchmark names are unsuffixed on the cpu=1 run (go test
+	// only appends -N for GOMAXPROCS > 1).
 	flat, okF := benches["BenchmarkFlashCrowdCrossZone/flat"]
 	aware, okA := benches["BenchmarkFlashCrowdCrossZone/aware"]
 	if okF && okA {
@@ -91,6 +123,20 @@ func main() {
 			cz.ReductionX = cz.FlatBytes / cz.AwareBytes
 		}
 		doc.CrossZone = cz
+	}
+	unb, okU := benches["BenchmarkMultisnapshot1024/unbatched"]
+	bat, okB := benches["BenchmarkMultisnapshot1024/batched"]
+	if okU && okB {
+		ms := &multisnapshot{
+			UnbatchedWriteRPCs: unb.Metrics["write-RPCs/round"],
+			BatchedWriteRPCs:   bat.Metrics["write-RPCs/round"],
+			UnbatchedNsOp:      unb.Metrics["ns/op"],
+			BatchedNsOp:        bat.Metrics["ns/op"],
+		}
+		if ms.BatchedWriteRPCs > 0 {
+			ms.ReductionX = ms.UnbatchedWriteRPCs / ms.BatchedWriteRPCs
+		}
+		doc.Multisnapshot = ms
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")

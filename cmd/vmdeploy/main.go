@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|ablations|all
+//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|ablations|all
 //
 // fig4 prints all four panels of Fig. 4 (multideployment), fig5 both
 // panels of Fig. 5 (multisnapshotting), fig6/fig7 the Bonnie++
@@ -13,7 +13,9 @@
 // and -keep), degraded the flash crowd rerun while -kill providers
 // fail mid-deployment (healthy baseline row included), crosszone the
 // flash crowd spread over 3 availability zones with flat vs
-// topology-aware policy (docs/topology.md). -quick runs the
+// topology-aware policy (docs/topology.md), multisnap the concurrent
+// commit of all instances against a small provider pool with the
+// unbatched vs batched write path (docs/perf.md). -quick runs the
 // scaled-down parameter set (shapes preserved, absolute values not
 // comparable to the paper).
 package main
@@ -40,7 +42,7 @@ func main() {
 	keep := flag.Int("keep", 2, "keep-last-K retention window for churn (0 = no retention)")
 	kill := flag.Int("kill", 8, "providers killed mid-run for degraded")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +57,7 @@ func main() {
 	flashN := 256
 	churnN := 32
 	crossN := 60 // per zone
+	multiN := 256
 	if *quick {
 		p = experiments.Quick()
 		p.MaxInstances = 24
@@ -62,6 +65,7 @@ func main() {
 		flashN = 64
 		churnN = 8
 		crossN = 20
+		multiN = 64
 	}
 	degradedN := flashN
 	if *seed != 0 {
@@ -73,6 +77,7 @@ func main() {
 		churnN = *instances
 		degradedN = *instances
 		crossN = (*instances + 2) / 3 // total crowd over the 3 zones
+		multiN = *instances
 	}
 	sweep := experiments.DefaultSweep()
 	if *quick {
@@ -156,6 +161,16 @@ func main() {
 		}
 		return []*metrics.Table{experiments.CrossZoneTable(pts)}
 	}
+	multisnap := func() []*metrics.Table {
+		var pts []experiments.MultisnapshotPoint
+		for _, batched := range []bool{false, true} {
+			pts = append(pts, experiments.RunMultisnapshot(p, experiments.MultisnapshotConfig{
+				Instances: multiN,
+				Batched:   batched,
+			}))
+		}
+		return []*metrics.Table{experiments.MultisnapshotTable(pts)}
+	}
 	ablations := func() []*metrics.Table {
 		n := 16
 		if !*quick {
@@ -183,6 +198,8 @@ func main() {
 		run("degraded", degraded)
 	case "crosszone":
 		run("crosszone", crosszone)
+	case "multisnap":
+		run("multisnap", multisnap)
 	case "ablations":
 		run("ablations", ablations)
 	case "all":
@@ -195,6 +212,7 @@ func main() {
 		run("degraded", degraded)
 		run("crosszone", crosszone)
 		run("ablations", ablations)
+		run("multisnap", multisnap)
 	default:
 		flag.Usage()
 		os.Exit(2)

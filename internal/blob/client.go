@@ -58,6 +58,14 @@ type Client struct {
 	sys    *System
 	sharer ChunkSharer // optional p2p chunk source (see sharing.go)
 
+	// writeBatching switches WriteChunks to the batched commit path:
+	// chunk payloads grouped into one provider RPC per provider per
+	// round (ProviderSet.PutBatch), the shadowed tree built with
+	// level-order batched fetches of the old nodes (BuildVersionBatched)
+	// overlapped with the chunk publish. Off by default — the unbatched
+	// path's costs are pinned byte-identically by the figure scenarios.
+	writeBatching bool
+
 	nodeCache [nodeCacheShards]nodeCacheShard
 
 	infoMu sync.RWMutex
@@ -299,6 +307,18 @@ func (c *Client) UnpinVersion(id ID, v Version) {
 	c.sys.VM.Unpin(id, v)
 }
 
+// Retire retires snapshot (id, v) at the version manager, making its
+// exclusive storage reclaimable by the next collection. Callers that
+// create a version and then fail to adopt it (the mirroring module's
+// CLONE error path) use this to avoid leaking a zombie blob.
+func (c *Client) Retire(ctx *cluster.Ctx, id ID, v Version) error {
+	return c.sys.VM.Retire(ctx, id, v)
+}
+
+// SetWriteBatching toggles the batched commit path (see the
+// writeBatching field). Flip it before issuing writes.
+func (c *Client) SetWriteBatching(on bool) { c.writeBatching = on }
+
 // ChunkWrite names a chunk index and its new payload for WriteChunks.
 type ChunkWrite struct {
 	Index   int64
@@ -353,21 +373,48 @@ func (c *Client) WriteChunksKeyed(ctx *cluster.Ctx, id ID, base Version, writes 
 		dirty[i] = DirtyLeaf{Index: sorted[i].Index, Chunk: keys[i]}
 	}
 	defer c.sys.Providers.ClearPending(keys)
-	putErrs := make([]error, len(sorted))
-	c.forEachParallel(ctx, "put-chunk", len(sorted), func(cc *cluster.Ctx, i int) {
-		putErrs[i] = c.sys.Providers.Put(cc, keys[i], sorted[i].Payload)
-	})
-	if err := firstError(putErrs); err != nil {
-		return 0, nil, err
+
+	// On the batched path the whole round goes to the providers as one
+	// PutBatch — one RPC per distinct provider — running as its own
+	// activity so the transfer overlaps the metadata build of phase 2.
+	// The unbatched path pushes every chunk as an individual Put and
+	// completes before any metadata work, as the figure scenarios pin.
+	var pub cluster.Task
+	var pubErr error
+	joined := false
+	if c.writeBatching {
+		puts := make([]ChunkPut, len(sorted))
+		for i := range sorted {
+			puts[i] = ChunkPut{Key: keys[i], Payload: sorted[i].Payload}
+		}
+		pub = ctx.Go("put-chunks", ctx.Node(), func(cc *cluster.Ctx) {
+			pubErr = c.sys.Providers.PutBatch(cc, puts)
+		})
+		defer func() {
+			// Error unwinds must not leave the publish activity running
+			// against keys whose pending marks are about to clear.
+			if !joined {
+				ctx.WaitAll([]cluster.Task{pub})
+			}
+		}()
+	} else {
+		putErrs := make([]error, len(sorted))
+		c.forEachParallel(ctx, "put-chunk", len(sorted), func(cc *cluster.Ctx, i int) {
+			putErrs[i] = c.sys.Providers.Put(cc, keys[i], sorted[i].Payload)
+		})
+		if err := firstError(putErrs); err != nil {
+			return 0, nil, err
+		}
+		// The writer holds the full content of every chunk it just
+		// pushed, so it can serve siblings as an alternate source from
+		// now on.
+		if c.sharer != nil {
+			c.sharer.Announce(ctx, keys)
+		}
 	}
 	keyOf := make(map[int64]ChunkKey, len(sorted))
 	for i := range sorted {
 		keyOf[sorted[i].Index] = keys[i]
-	}
-	// The writer holds the full content of every chunk it just pushed,
-	// so it can serve siblings as an alternate source from now on.
-	if c.sharer != nil {
-		c.sharer.Announce(ctx, keys)
 	}
 
 	// Phase 2: ticket, shadowed metadata, publication. The base version
@@ -394,9 +441,28 @@ func (c *Client) WriteChunksKeyed(ctx *cluster.Ctx, id ID, base Version, writes 
 	// The new tree nodes are pending for the same reason as the keys.
 	alloc, done := c.pendingAllocator()
 	defer done()
-	root, created, err := BuildVersion(boundGetter{c, ctx}, oldRoot, inf.Span, dirty, alloc)
+	var root NodeRef
+	var created []NewNode
+	if c.writeBatching {
+		root, created, err = BuildVersionBatched(boundGetter{c, ctx}, oldRoot, inf.Span, dirty, alloc)
+	} else {
+		root, created, err = BuildVersion(boundGetter{c, ctx}, oldRoot, inf.Span, dirty, alloc)
+	}
 	if err != nil {
 		return 0, nil, err
+	}
+	if pub != nil {
+		// Join the chunk publish before the version becomes visible: a
+		// published snapshot must never reference in-flight chunks, and
+		// the cohort announcement must wait for the content to exist.
+		ctx.WaitAll([]cluster.Task{pub})
+		joined = true
+		if pubErr != nil {
+			return 0, nil, pubErr
+		}
+		if c.sharer != nil {
+			c.sharer.Announce(ctx, keys)
+		}
 	}
 	c.sys.Meta.PutBatch(ctx, created)
 	c.cacheNew(created)

@@ -56,14 +56,21 @@ type ProviderSet struct {
 	repairs map[ChunkKey][]cluster.NodeID
 	voids   map[ChunkKey][]cluster.NodeID
 
-	alive   map[cluster.NodeID]*atomic.Bool  // provider liveness flags
-	readsBy map[cluster.NodeID]*atomic.Int64 // chunk reads served, per provider
+	alive    map[cluster.NodeID]*atomic.Bool  // provider liveness flags
+	readsBy  map[cluster.NodeID]*atomic.Int64 // chunk reads served, per provider
+	writesBy map[cluster.NodeID]*atomic.Int64 // write RPCs received, per provider
 
 	// Reads and Writes count chunk-level operations; DedupHits counts
 	// Puts absorbed by an existing identical chunk. Reclaimed and
 	// ReclaimedBytes count chunk payloads physically freed by Release.
 	Reads, Writes, DedupHits  atomic.Int64
 	Reclaimed, ReclaimedBytes atomic.Int64
+	// PutRPCs counts the provider-bound RPCs the write path issued
+	// (after batching): one per replica per chunk through Put, one per
+	// distinct provider per round through PutBatch. Writes/PutRPCs is
+	// therefore the write-side batching factor, the twin of the
+	// metadata service's Gets/NodesServed.
+	PutRPCs atomic.Int64
 	// Failovers counts reads a dead primary pushed onto a surviving
 	// replica (or a repair copy); FailedReads counts reads that found
 	// no live copy at all (ErrNoReplica); Rereplicated counts chunk
@@ -86,10 +93,12 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 	}
 	alive := make(map[cluster.NodeID]*atomic.Bool, len(nodes))
 	readsBy := make(map[cluster.NodeID]*atomic.Int64, len(nodes))
+	writesBy := make(map[cluster.NodeID]*atomic.Int64, len(nodes))
 	for _, n := range nodes {
 		alive[n] = &atomic.Bool{}
 		alive[n].Store(true)
 		readsBy[n] = &atomic.Int64{}
+		writesBy[n] = &atomic.Int64{}
 	}
 	return &ProviderSet{
 		nodes:    nodes,
@@ -105,6 +114,7 @@ func NewProviderSet(nodes []cluster.NodeID, replicas int) *ProviderSet {
 		voids:    make(map[ChunkKey][]cluster.NodeID),
 		alive:    alive,
 		readsBy:  readsBy,
+		writesBy: writesBy,
 	}
 }
 
@@ -334,6 +344,7 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 			continue
 		}
 		ctx.RPC(prov, int64(p.Size)+32, 16)
+		ps.countPutRPC(prov)
 		if !dup {
 			ctx.DiskWriteAsync(prov, int64(p.Size))
 		}
@@ -354,6 +365,7 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 		for _, n := range canonLocs {
 			if ps.isAlive(n) {
 				ctx.RPC(n, int64(p.Size)+32, 16)
+				ps.countPutRPC(n)
 				stored++
 				break
 			}
@@ -363,6 +375,7 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 		subs = ps.substitutes(key, ring, len(deadRing))
 		for _, s := range subs {
 			ctx.RPC(s, int64(p.Size)+32, 16)
+			ps.countPutRPC(s)
 			ctx.DiskWriteAsync(s, int64(p.Size))
 			stored++
 		}
@@ -400,6 +413,175 @@ func (ps *ProviderSet) Put(ctx *cluster.Ctx, key ChunkKey, p Payload) error {
 	ps.mu.Unlock()
 	ps.Writes.Add(1)
 	return nil
+}
+
+// countPutRPC records one provider-bound write RPC.
+func (ps *ProviderSet) countPutRPC(prov cluster.NodeID) {
+	ps.PutRPCs.Add(1)
+	if c, ok := ps.writesBy[prov]; ok {
+		c.Add(1)
+	}
+}
+
+// NodePutRPCs returns a copy of the per-provider write-RPC counters —
+// the distribution the batched commit path flattens to one RPC per
+// provider per round.
+func (ps *ProviderSet) NodePutRPCs() map[cluster.NodeID]int64 {
+	out := make(map[cluster.NodeID]int64, len(ps.writesBy))
+	for n, w := range ps.writesBy {
+		if v := w.Load(); v > 0 {
+			out[n] = v
+		}
+	}
+	return out
+}
+
+// ChunkPut names one key/payload pair for PutBatch.
+type ChunkPut struct {
+	Key     ChunkKey
+	Payload Payload
+}
+
+// PutBatch stores a whole commit round of chunks with Put's exact
+// per-key semantics — replica placement, write-around of dead ring
+// replicas, deduplication — but charges the network per provider
+// instead of per chunk: every payload bound for one provider travels
+// in a single RPC (the write-side twin of MetaService.PutBatch), and
+// with deduplication enabled the round's fingerprint lookups are
+// decided under one lock acquisition, so an identical payload later in
+// the batch aliases to its first occurrence without a second lookup.
+// All providers receive their share concurrently, so the round's
+// transfer time stays that of the slowest provider, as with the
+// unbatched parallel puts. Keys that could not be placed anywhere
+// fail with ErrNoReplica (first error returned); the rest of the
+// round commits regardless, exactly as independent Puts would.
+func (ps *ProviderSet) PutBatch(ctx *cluster.Ctx, puts []ChunkPut) error {
+	if len(puts) == 0 {
+		return nil
+	}
+	n := len(puts)
+	dup := make([]bool, n)
+	canonical := make([]ChunkKey, n)
+	registered := make([]bool, n)
+	fprints := make([]uint64, n)
+	if ps.dedup {
+		ps.mu.Lock()
+		for i, pt := range puts {
+			fp, ok := fingerprint(pt.Payload)
+			if !ok {
+				continue
+			}
+			if existing, hit := ps.byPrint[fp]; hit {
+				dup[i], canonical[i] = true, existing
+			} else {
+				ps.byPrint[fp] = pt.Key
+				ps.printOf[pt.Key] = fp
+				registered[i], fprints[i] = true, fp
+			}
+		}
+		ps.mu.Unlock()
+	}
+
+	// Placement pass: accumulate each provider's share of the round.
+	bytesTo := make(map[cluster.NodeID]int64)
+	diskTo := make(map[cluster.NodeID]int64)
+	stored := make([]int, n)
+	deadRings := make([][]cluster.NodeID, n)
+	subsOf := make([][]cluster.NodeID, n)
+	charge := func(prov cluster.NodeID, p Payload, disk bool) {
+		bytesTo[prov] += int64(p.Size) + 32
+		if disk {
+			diskTo[prov] += int64(p.Size)
+		}
+	}
+	for i, pt := range puts {
+		ring := ps.Replicas(pt.Key)
+		for _, prov := range ring {
+			if !ps.isAlive(prov) {
+				deadRings[i] = append(deadRings[i], prov)
+				continue
+			}
+			charge(prov, pt.Payload, !dup[i])
+			stored[i]++
+		}
+		if stored[i] == 0 && dup[i] {
+			ps.mu.RLock()
+			canonLocs := ps.locationsLocked(canonical[i])
+			ps.mu.RUnlock()
+			for _, nd := range canonLocs {
+				if ps.isAlive(nd) {
+					charge(nd, pt.Payload, false)
+					stored[i]++
+					break
+				}
+			}
+		}
+		if len(deadRings[i]) > 0 && !dup[i] {
+			subsOf[i] = ps.substitutes(pt.Key, ring, len(deadRings[i]))
+			for _, s := range subsOf[i] {
+				charge(s, pt.Payload, true)
+				stored[i]++
+			}
+		}
+	}
+
+	// One RPC per distinct provider carries its whole share, all
+	// providers transferring concurrently (as the unbatched 16-way
+	// parallel puts did), spawned in ring order for determinism.
+	tasks := make([]cluster.Task, 0, len(bytesTo))
+	for _, prov := range ps.nodes {
+		b, ok := bytesTo[prov]
+		if !ok {
+			continue
+		}
+		prov, d := prov, diskTo[prov]
+		ps.countPutRPC(prov)
+		tasks = append(tasks, ctx.Go("put-batch", ctx.Node(), func(cc *cluster.Ctx) {
+			cc.RPC(prov, b, 16)
+			if d > 0 {
+				cc.DiskWriteAsync(prov, d)
+			}
+		}))
+	}
+	ctx.WaitAll(tasks)
+
+	var firstErr error
+	ps.mu.Lock()
+	for i, pt := range puts {
+		if stored[i] == 0 {
+			// Nothing could take a copy; unregister the fingerprint
+			// claimed above so a later identical write does not alias to
+			// this never-stored chunk.
+			if registered[i] {
+				if ps.byPrint[fprints[i]] == pt.Key {
+					delete(ps.byPrint, fprints[i])
+				}
+				delete(ps.printOf, pt.Key)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("blob: chunk %d: %w", pt.Key, ErrNoReplica)
+			}
+			continue
+		}
+		if dup[i] {
+			ps.aliases[pt.Key] = canonical[i]
+			ps.refs[canonical[i]]++
+			ps.DedupHits.Add(1)
+		} else {
+			ps.chunks[pt.Key] = pt.Payload
+			ps.refs[pt.Key]++
+			if len(deadRings[i]) > 0 {
+				ps.voids[pt.Key] = deadRings[i]
+				if len(subsOf[i]) > 0 {
+					ps.repairs[pt.Key] = subsOf[i]
+				}
+			}
+		}
+		ps.retained[pt.Key] = true
+		ps.Writes.Add(1)
+	}
+	ps.mu.Unlock()
+	return firstErr
 }
 
 // substitutes picks n live providers outside key's ring, walking the

@@ -40,9 +40,30 @@ func applyFuzzVersions(t *testing.T, span int64, data []byte) (NodeRef, []ChunkK
 			nextKey++
 			dirty = append(dirty, DirtyLeaf{Index: i, Chunk: nextKey})
 		}
+		// The batched build must be bit-identical to the plain one:
+		// same root, same created nodes in the same order, same refs.
+		// Run it first against a snapshot of the allocator counter so
+		// both builds allocate from the same state.
+		next0 := m.next
+		bRoot, bCreated, bErr := BuildVersionBatched(&batchMapStore{mapStore: m}, root, span, dirty, m.alloc)
+		m.next = next0
 		newRoot, created, err := BuildVersion(m, root, span, dirty, m.alloc)
 		if err != nil {
 			t.Fatalf("BuildVersion(span=%d, %d dirty): %v", span, len(dirty), err)
+		}
+		if bErr != nil {
+			t.Fatalf("BuildVersionBatched(span=%d, %d dirty): %v", span, len(dirty), bErr)
+		}
+		if bRoot != newRoot {
+			t.Fatalf("batched root %d != plain root %d", bRoot, newRoot)
+		}
+		if len(bCreated) != len(created) {
+			t.Fatalf("batched created %d nodes, plain %d", len(bCreated), len(created))
+		}
+		for i := range created {
+			if bCreated[i] != created[i] {
+				t.Fatalf("created[%d]: batched %+v, plain %+v", i, bCreated[i], created[i])
+			}
 		}
 		if len(dirty) == 0 {
 			if newRoot != root || len(created) != 0 {

@@ -90,6 +90,16 @@ type Orchestrator struct {
 	// Retention, when KeepLast > 0, retires old snapshot versions after
 	// every SnapshotAll round (backend permitting).
 	Retention RetentionPolicy
+	// Pipeline overlaps the commit pipeline across instances: each
+	// instance's retention runs on its own node as soon as its snapshot
+	// completes, instead of behind the round's global barrier, so a
+	// fast instance's lifecycle work proceeds while slow instances are
+	// still publishing chunks. The single garbage-collection cycle
+	// still runs after every instance finished (a blob's "last K" is
+	// per instance, so per-instance retirement needs no barrier, but
+	// reclaiming shared chunks does). Off by default: the barrier
+	// ordering is what the existing scenarios measure.
+	Pipeline bool
 	// Collector, when set, runs one garbage-collection cycle after each
 	// SnapshotAll round's retention, reclaiming the storage the retired
 	// versions held exclusively.
@@ -157,6 +167,11 @@ func (o *Orchestrator) SnapshotAll(ctx *cluster.Ctx, instances []*Instance) (*Sn
 	res := &SnapshotResult{Backend: o.Backend.Name(), Times: make([]float64, len(instances))}
 	errs := make([]error, len(instances))
 	start := ctx.Now()
+	var vr VersionRetirer
+	if o.Retention.KeepLast > 0 {
+		vr, _ = o.Backend.(VersionRetirer)
+	}
+	retired := make([]int, len(instances))
 	tasks := make([]cluster.Task, 0, len(instances))
 	for k, inst := range instances {
 		k, inst := k, inst
@@ -164,6 +179,9 @@ func (o *Orchestrator) SnapshotAll(ctx *cluster.Ctx, instances []*Instance) (*Sn
 			t0 := cc.Now()
 			errs[k] = o.Backend.Snapshot(cc, inst.Index, inst.Node, inst.Disk)
 			res.Times[k] = cc.Now() - t0
+			if o.Pipeline && errs[k] == nil && vr != nil {
+				retired[k], errs[k] = vr.RetireOld(cc, inst.Disk, o.Retention.KeepLast)
+			}
 		}))
 	}
 	ctx.WaitAll(tasks)
@@ -174,18 +192,23 @@ func (o *Orchestrator) SnapshotAll(ctx *cluster.Ctx, instances []*Instance) (*Sn
 	}
 	// Lifecycle epilogue: retention retires versions that fell out of
 	// the keep-last-K window, and the collector reclaims what they held
-	// exclusively. Both run after every instance's snapshot completed,
-	// so the "last K" of each blob is well defined for the round.
-	if o.Retention.KeepLast > 0 {
-		if vr, ok := o.Backend.(VersionRetirer); ok {
-			for _, inst := range instances {
-				n, err := vr.RetireOld(ctx, inst.Disk, o.Retention.KeepLast)
-				if err != nil {
-					return nil, err
-				}
-				res.Retired += n
+	// exclusively. With Pipeline each instance already retired its own
+	// versions inline above; otherwise both run after every instance's
+	// snapshot completed, so the "last K" of each blob is well defined
+	// for the round. (Per-instance retirement is safe to pipeline: a
+	// lineage is private to its instance. The collector is not — it
+	// reclaims shared chunks — so it always runs behind the barrier.)
+	if vr != nil && !o.Pipeline {
+		for k, inst := range instances {
+			n, err := vr.RetireOld(ctx, inst.Disk, o.Retention.KeepLast)
+			if err != nil {
+				return nil, err
 			}
+			retired[k] = n
 		}
+	}
+	for _, n := range retired {
+		res.Retired += n
 	}
 	if o.Collector != nil {
 		rep, err := o.Collector.Collect(ctx)

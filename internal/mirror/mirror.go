@@ -30,6 +30,12 @@ type Config struct {
 	FetchRetries int
 	// RetryDelay is the backoff between fetch retries in seconds.
 	RetryDelay float64
+	// BatchedCommit overlaps the CLONE of a forking Snapshot with the
+	// commit's local prepare phase (gap fill and payload capture). It
+	// is set together with the client's write batching (one provider
+	// RPC per provider per commit round); both default off — the
+	// unbatched commit costs are pinned by the figure scenarios.
+	BatchedCommit bool
 }
 
 // DefaultConfig returns the calibrated FUSE crossing cost, with
@@ -49,6 +55,12 @@ type Module struct {
 	client *blob.Client
 	cfg    Config
 	sharer blob.ChunkSharer // optional p2p cohort; set before opening images
+
+	// pinHook is a test seam: Clone's pin of the fresh clone (normally
+	// infallible — version 1 was published moments before) consults it
+	// first, so tests can force the pin-failure cleanup path, which is
+	// unreachable deterministically otherwise (Pin is a local call).
+	pinHook func(id blob.ID, v blob.Version) error
 
 	mu     sync.Mutex
 	closed map[blob.ID]*localState // persisted local state by origin blob
@@ -138,6 +150,18 @@ type Image struct {
 	// inflight counts remote fetches currently running per chunk, so a
 	// prefetch skips chunks a demand fetch is already bringing in.
 	inflight map[int64]int
+	// publishing marks chunk indices whose captured payload a commit is
+	// currently pushing to the fabric; during records the dirty hull of
+	// writes landing on those chunks inside that window, so commit
+	// completion re-marks exactly the bytes the published snapshot does
+	// not contain instead of wiping them from the dirty map.
+	publishing map[int64]bool
+	during     map[int64]dirtyRange
+}
+
+// dirtyRange is a chunk-relative [Lo,Hi) byte hull.
+type dirtyRange struct {
+	Lo, Hi int32
 }
 
 // Open mirrors snapshot (id, v) as a local raw image file. If the
@@ -168,8 +192,10 @@ func (m *Module) Open(ctx *cluster.Ctx, id blob.ID, v blob.Version, real bool) (
 	}
 	im := &Image{
 		mod: m, blobID: id, version: v, info: inf, open: true,
-		announced: make(map[int64]blob.ChunkKey),
-		inflight:  make(map[int64]int),
+		announced:  make(map[int64]blob.ChunkKey),
+		inflight:   make(map[int64]int),
+		publishing: make(map[int64]bool),
+		during:     make(map[int64]dirtyRange),
 	}
 	m.mu.Lock()
 	st := m.closed[id]
@@ -397,6 +423,22 @@ func (im *Image) access(ctx *cluster.Ctx, off, n int64, p []byte, write bool) er
 			}
 			if whi > st.DirtyHi {
 				st.DirtyHi = whi
+			}
+		}
+		if im.publishing[ci] {
+			// A commit captured this chunk and is publishing it right
+			// now: record the write separately so completion re-marks
+			// it dirty instead of wiping it with the committed range.
+			if d, ok := im.during[ci]; ok {
+				if wlo < d.Lo {
+					d.Lo = wlo
+				}
+				if whi > d.Hi {
+					d.Hi = whi
+				}
+				im.during[ci] = d
+			} else {
+				im.during[ci] = dirtyRange{Lo: wlo, Hi: whi}
 			}
 		}
 		if key, ok := im.announced[ci]; ok {
@@ -640,7 +682,15 @@ func (im *Image) Clone(ctx *cluster.Ctx) error {
 	}
 	// Move the image's open-pin to the clone's first version before
 	// releasing the source snapshot.
-	if err := im.mod.client.PinVersion(clone, 1); err != nil {
+	if err := im.pinVersion(clone, 1); err != nil {
+		// The image keeps pointing at the base, so nobody adopted the
+		// freshly published clone: retire it, or it survives as a
+		// zombie blob no retention policy knows about, pinning its
+		// shared chunks against garbage collection forever. Best
+		// effort — the pin failure is what propagates.
+		if rerr := im.mod.client.Retire(ctx, clone, 1); rerr != nil && !errors.Is(rerr, blob.ErrVersionRetired) {
+			return fmt.Errorf("mirror: clone %d unadopted and not retired (%v) after pin: %w", clone, rerr, err)
+		}
 		return err
 	}
 	im.mod.client.UnpinVersion(id, v)
@@ -661,12 +711,34 @@ func (im *Image) Clone(ctx *cluster.Ctx) error {
 // the committed chunks are announced by the write path: after COMMIT
 // the local copy equals the published snapshot.
 func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
+	plan, err := im.prepareCommit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if plan == nil {
+		return im.Version(), nil
+	}
+	return im.publishCommit(ctx, plan)
+}
+
+// commitPlan carries a prepared commit between its two phases: the
+// captured payloads and the chunk indices whose publish window is open.
+type commitPlan struct {
+	writes   []blob.ChunkWrite
+	dirtyIdx []int64
+}
+
+// prepareCommit is COMMIT's local half: gap-fill dirty chunks that lack
+// full content, then capture their payloads and open the publish window
+// (mark them publishing). A nil plan means nothing was dirty. Every
+// fabric operation it performs reads; it never publishes, so it can
+// safely overlap a concurrent Clone (Snapshot's pipelined mode).
+func (im *Image) prepareCommit(ctx *cluster.Ctx) (*commitPlan, error) {
 	im.mu.Lock()
 	if !im.open {
 		im.mu.Unlock()
-		return 0, fmt.Errorf("mirror: commit: %w", ErrClosed)
+		return nil, fmt.Errorf("mirror: commit: %w", ErrClosed)
 	}
-	id, base := im.blobID, im.version
 	var dirtyIdx []int64
 	for ci := range im.chunks {
 		if im.chunks[ci].dirty() {
@@ -675,7 +747,7 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 	}
 	im.mu.Unlock()
 	if len(dirtyIdx) == 0 {
-		return base, nil
+		return nil, nil
 	}
 	// Gap-fill dirty chunks that lack full local content.
 	for _, ci := range dirtyIdx {
@@ -692,14 +764,18 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 		}
 		im.mu.Unlock()
 		if err := im.fetchChunks(ctx, ci, ci+1, fetchNoAnnounce); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 	// Reading the dirty content back from the local mirror (page cache
-	// makes this cheap; charge the disk for the cold fraction).
+	// makes this cheap; charge the disk for the cold fraction). Payload
+	// capture and the publishing mark happen under one lock acquisition:
+	// from here until completion, a concurrent write on a captured chunk
+	// is recorded in `during` as well as in the dirty hull.
 	cs := int64(im.info.ChunkSize)
 	writes := make([]blob.ChunkWrite, 0, len(dirtyIdx))
 	im.mu.Lock()
+	id, base := im.blobID, im.version
 	for _, ci := range dirtyIdx {
 		clen := im.chunkLen(ci)
 		var payload blob.Payload
@@ -709,29 +785,63 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 			copy(data, im.local[cstart:cstart+int64(clen)])
 			payload = blob.RealPayload(data)
 		} else {
-			payload = blob.SyntheticPayload(clen, uint64(id)<<32|uint64(base)+1)
+			// The tag stands in for the chunk's content identity, so it
+			// must differ per chunk: blob, target version and chunk
+			// index mixed (a tag without the index would alias every
+			// synthetic chunk of the round under deduplication).
+			payload = blob.SyntheticPayload(clen, uint64(id)<<44|(uint64(base)+1)<<24|uint64(ci))
 		}
 		writes = append(writes, blob.ChunkWrite{Index: ci, Payload: payload})
 		im.stats.CommittedBytes += int64(clen)
+		im.publishing[ci] = true
 	}
 	im.mu.Unlock()
-	v, keyOf, err := im.mod.client.WriteChunksKeyed(ctx, id, base, writes)
+	return &commitPlan{writes: writes, dirtyIdx: dirtyIdx}, nil
+}
+
+// publishCommit is COMMIT's fabric half: push the captured payloads,
+// publish the new version, and close the publish window — clearing the
+// dirty record only for chunks no write touched while the publish was
+// in flight, and re-marking exactly the bytes written meanwhile on the
+// ones a write did touch.
+func (im *Image) publishCommit(ctx *cluster.Ctx, plan *commitPlan) (blob.Version, error) {
+	im.mu.Lock()
+	id, base := im.blobID, im.version
+	im.mu.Unlock()
+	v, keyOf, err := im.mod.client.WriteChunksKeyed(ctx, id, base, plan.writes)
 	if err != nil {
+		im.closeWindow(plan.dirtyIdx)
 		return 0, err
 	}
 	// The image now mirrors the freshly published snapshot; move its
 	// open-pin from the base to the new version. The new version is
 	// the blob's latest, so the pin cannot fail.
 	if err := im.mod.client.PinVersion(id, v); err != nil {
+		im.closeWindow(plan.dirtyIdx)
 		return 0, err
 	}
 	im.mod.client.UnpinVersion(id, base)
 	sharing := im.mod.sharer != nil
+	var retract []blob.ChunkKey
 	im.mu.Lock()
 	im.version = v
 	im.stats.Commits++
-	im.stats.CommittedChunks += int64(len(writes))
-	for _, ci := range dirtyIdx {
+	im.stats.CommittedChunks += int64(len(plan.writes))
+	for _, ci := range plan.dirtyIdx {
+		delete(im.publishing, ci)
+		if d, wrote := im.during[ci]; wrote {
+			// A write landed between payload capture and publication:
+			// the published snapshot does not contain it. Keep exactly
+			// those bytes dirty for the next commit instead of wiping
+			// the record, and withdraw this node as a holder of the
+			// committed key — the local chunk already diverged from it.
+			delete(im.during, ci)
+			im.chunks[ci].DirtyLo, im.chunks[ci].DirtyHi = d.Lo, d.Hi
+			if sharing {
+				retract = append(retract, keyOf[ci])
+			}
+			continue
+		}
 		im.chunks[ci].DirtyLo, im.chunks[ci].DirtyHi = 0, 0
 		if sharing {
 			// The client announced the committed keys; record them so
@@ -740,7 +850,78 @@ func (im *Image) Commit(ctx *cluster.Ctx) (blob.Version, error) {
 		}
 	}
 	im.mu.Unlock()
+	if len(retract) > 0 {
+		im.mod.sharer.Retract(ctx, retract)
+	}
 	return v, nil
+}
+
+// closeWindow abandons an open publish window after a failed commit:
+// the dirty hulls were never cleared (and already absorbed any writes
+// that landed during the attempt), so the window records just fold
+// away and every modification remains committed by the next attempt.
+func (im *Image) closeWindow(dirtyIdx []int64) {
+	im.mu.Lock()
+	for _, ci := range dirtyIdx {
+		delete(im.publishing, ci)
+		delete(im.during, ci)
+	}
+	im.mu.Unlock()
+}
+
+// pinVersion pins (id, v) through the module's test seam.
+func (im *Image) pinVersion(id blob.ID, v blob.Version) error {
+	if hook := im.mod.pinHook; hook != nil {
+		if err := hook(id, v); err != nil {
+			return err
+		}
+	}
+	return im.mod.client.PinVersion(id, v)
+}
+
+// Snapshot is the CLONE+COMMIT sequence as one primitive: with fork the
+// image first redirects to a fresh clone of the mirrored snapshot, then
+// commits its local modifications; without fork it is Commit. It
+// returns the blob and version now mirrored. When the module runs with
+// Config.BatchedCommit, the forking form pipelines the two phases: the
+// clone's metadata round trips overlap the commit's local prepare
+// phase (gap fill and payload capture), and the publish then lands on
+// the clone — the paper's multisnapshot pattern with the serial
+// per-instance latency folded away.
+func (im *Image) Snapshot(ctx *cluster.Ctx, fork bool) (blob.ID, blob.Version, error) {
+	if fork && im.mod.cfg.BatchedCommit {
+		var cloneErr error
+		ct := ctx.Go("clone", ctx.Node(), func(cc *cluster.Ctx) { cloneErr = im.Clone(cc) })
+		plan, prepErr := im.prepareCommit(ctx)
+		ctx.WaitAll([]cluster.Task{ct})
+		if cloneErr != nil {
+			if plan != nil {
+				im.closeWindow(plan.dirtyIdx)
+			}
+			return 0, 0, cloneErr
+		}
+		if prepErr != nil {
+			return 0, 0, prepErr
+		}
+		if plan == nil {
+			return im.BlobID(), im.Version(), nil
+		}
+		v, err := im.publishCommit(ctx, plan)
+		if err != nil {
+			return 0, 0, err
+		}
+		return im.BlobID(), v, nil
+	}
+	if fork {
+		if err := im.Clone(ctx); err != nil {
+			return 0, 0, err
+		}
+	}
+	v, err := im.Commit(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return im.BlobID(), v, nil
 }
 
 // ctxDiskWriteAsync charges an asynchronous local write, skipping

@@ -134,7 +134,11 @@ func (r *Repo) checkOpen() error {
 // and under-charge the modeled RPCs. Caching is per node, and lives in
 // the per-node modules (see module).
 func (r *Repo) client() *blob.Client {
-	return blob.NewClient(r.sys)
+	c := blob.NewClient(r.sys)
+	if r.cfg.batched {
+		c.SetWriteBatching(true)
+	}
+	return c
 }
 
 // module returns (creating on first use) the mirroring module of a
@@ -149,6 +153,9 @@ func (r *Repo) module(node NodeID) *mirror.Module {
 		c := blob.NewClient(r.sys)
 		if r.cfg.extentCap > 0 {
 			c.SetExtentCacheCap(r.cfg.extentCap)
+		}
+		if r.cfg.batched {
+			c.SetWriteBatching(true)
 		}
 		m = mirror.NewModule(node, c, r.cfg.mirror)
 		if r.cohort != nil {
@@ -256,16 +263,11 @@ func (r *Repo) Snapshot(ctx *Ctx, d *Disk, fork bool) (Snapshot, error) {
 	if err := r.owns(d); err != nil {
 		return Snapshot{}, err
 	}
-	if fork {
-		if err := d.im.Clone(ctx); err != nil {
-			return Snapshot{}, err
-		}
-	}
-	v, err := d.im.Commit(ctx)
+	id, v, err := d.im.Snapshot(ctx, fork)
 	if err != nil {
 		return Snapshot{}, err
 	}
-	return Snapshot{Image: d.im.BlobID(), Version: v}, nil
+	return Snapshot{Image: id, Version: v}, nil
 }
 
 // Retire logically deletes a snapshot: it disappears from Latest and

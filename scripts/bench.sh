@@ -3,20 +3,25 @@
 # figure regenerations plus the metadata hot-path microbenchmarks —
 # with allocation reporting, and writes the raw output to bench.txt
 # (the artifact CI uploads, and the input `benchstat old.txt new.txt`
-# compares across commits). It then distills the flash-crowd family
-# (flash, degraded, crosszone) into BENCH_flashcrowd.json via
-# cmd/benchjson: provider reads, cross-zone bytes (flat vs
-# topology-aware, with the reduction factor) and ns/op, for dashboards
-# that don't want to parse Go benchmark output.
+# compares across commits). It then distills two families via
+# cmd/benchjson for dashboards that don't want to parse Go benchmark
+# output: the flash-crowd family (flash, degraded, crosszone) into
+# BENCH_flashcrowd.json — provider reads, cross-zone bytes (flat vs
+# topology-aware, with the reduction factor) and ns/op — and the
+# multisnapshot write path into BENCH_multisnapshot.json — provider
+# write RPCs per commit round, unbatched vs batched, with the
+# reduction factor and ns/op.
 #
-# Usage: scripts/bench.sh [output-file] [json-file]
+# Usage: scripts/bench.sh [output-file] [json-file] [multisnap-json-file]
 set -eu
 
 out="${1:-bench.txt}"
 json="${2:-BENCH_flashcrowd.json}"
+msjson="${3:-BENCH_multisnapshot.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkFlashCrowdCrossZone|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
+  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkFlashCrowdCrossZone|BenchmarkMultisnapshot1024|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
   -benchmem -count=1 -cpu 1,8 -timeout 30m . | tee "$out"
 
-go run ./cmd/benchjson -in "$out" -out "$json"
+go run ./cmd/benchjson -in "$out" -family flashcrowd -out "$json"
+go run ./cmd/benchjson -in "$out" -family multisnapshot -out "$msjson"
