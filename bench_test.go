@@ -276,6 +276,63 @@ func BenchmarkFlashCrowdCrossZone(b *testing.B) {
 	}
 }
 
+// BenchmarkFlashCrowdMetaOutage runs the metadata-outage scenario at
+// acceptance scale: a 256-instance flash crowd (p2p sharing on) with
+// metadata replication degree 2, healthy vs an outage that kills half
+// of the 16 metadata providers plus one full compute rack mid-run. The
+// headline metrics are the metadata failovers and re-replicated tree
+// nodes the outage forces, the failed descents (the guard: must be 0 —
+// the control plane never loses a metadata lookup), and the completion
+// delta against the healthy baseline. Every instance must boot in both
+// arms.
+func BenchmarkFlashCrowdMetaOutage(b *testing.B) {
+	const instances = 256
+	run := func(outage bool) experiments.MetaOutagePoint {
+		mc := experiments.MetaOutageConfig{Instances: instances, Sharing: true}
+		if outage {
+			mc.KillMeta = 8
+			mc.KillRack = true
+		}
+		return experiments.RunMetaOutage(experiments.Quick(), mc)
+	}
+	var healthy, hit experiments.MetaOutagePoint
+	for _, outage := range []bool{false, true} {
+		outage := outage
+		name := "healthy"
+		if outage {
+			name = "outage"
+		}
+		b.Run(name, func(b *testing.B) {
+			var pt experiments.MetaOutagePoint
+			for i := 0; i < b.N; i++ {
+				pt = run(outage)
+			}
+			if outage {
+				hit = pt
+			} else {
+				healthy = pt
+			}
+			b.ReportMetric(float64(pt.Booted), "booted")
+			b.ReportMetric(float64(pt.MetaFailovers), "meta-failovers")
+			b.ReportMetric(float64(pt.MetaRereplicated), "meta-re-replicated")
+			b.ReportMetric(float64(pt.FailedDescents), "failed-descents")
+			b.ReportMetric(pt.Completion, "completion-s")
+			if pt.Booted != pt.Instances {
+				b.Fatalf("%s: %d of %d instances booted", name, pt.Booted, pt.Instances)
+			}
+			if pt.FailedDescents != 0 {
+				b.Fatalf("%s: %d metadata descents found no live replica, want 0", name, pt.FailedDescents)
+			}
+		})
+	}
+	if healthy.Completion > 0 && hit.Completion > 0 {
+		b.ReportMetric(hit.Completion-healthy.Completion, "completion-delta-s")
+		if hit.MetaFailovers == 0 {
+			b.Fatal("the outage run exercised no metadata failover")
+		}
+	}
+}
+
 // BenchmarkMultisnapshot1024 runs the paper's headline workload at
 // full fan-out: 1024 instances each committing a 16 MB diff (64 dirty
 // chunks) concurrently against a 4-node provider pool, over two rounds

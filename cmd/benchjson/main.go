@@ -11,8 +11,12 @@
 //     multisnapshot write-path benchmark lines, plus a multisnapshot
 //     summary with the unbatched and batched write RPCs per commit
 //     round, the reduction factor, and both arms' ns/op.
+//   - family metaoutage → BENCH_metaoutage.json: the metadata-outage
+//     benchmark lines, plus a meta_outage summary with both arms'
+//     completion times, the outage delta, and the metadata failover,
+//     re-replication and failed-descent counts.
 //
-// Usage: benchjson [-in bench.txt] [-out BENCH_<family>.json] [-family flashcrowd|multisnapshot]
+// Usage: benchjson [-in bench.txt] [-out BENCH_<family>.json] [-family flashcrowd|multisnapshot|metaoutage]
 package main
 
 import (
@@ -57,6 +61,21 @@ type multisnapshot struct {
 	BatchedNsOp        float64 `json:"batched_ns_op"`
 }
 
+// metaOutage is the headline summary of control-plane resilience:
+// flash-crowd completion with a healthy control plane vs one that lost
+// half its metadata providers plus a compute rack mid-run, the descents
+// the outage forced down the replica ring, the tree nodes the repair
+// sweep restored, and the failed descents (must be zero — the outage
+// costs time, never a lookup).
+type metaOutage struct {
+	HealthyCompletionS float64 `json:"healthy_completion_s"`
+	OutageCompletionS  float64 `json:"outage_completion_s"`
+	CompletionDeltaS   float64 `json:"completion_delta_s"`
+	MetaFailovers      float64 `json:"meta_failovers"`
+	MetaRereplicated   float64 `json:"meta_rereplicated"`
+	FailedDescents     float64 `json:"failed_descents"`
+}
+
 func main() {
 	in := flag.String("in", "bench.txt", "benchmark output to parse")
 	family := flag.String("family", "flashcrowd", "benchmark family to distill: flashcrowd or multisnapshot")
@@ -68,6 +87,8 @@ func main() {
 		prefix = "BenchmarkFlashCrowd"
 	case "multisnapshot":
 		prefix = "BenchmarkMultisnapshot"
+	case "metaoutage":
+		prefix = "BenchmarkFlashCrowdMetaOutage"
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown family %q\n", *family)
 		os.Exit(2)
@@ -106,6 +127,7 @@ func main() {
 		Benchmarks    map[string]benchLine `json:"benchmarks"`
 		CrossZone     *crossZone           `json:"cross_zone,omitempty"`
 		Multisnapshot *multisnapshot       `json:"multisnapshot,omitempty"`
+		MetaOutage    *metaOutage          `json:"meta_outage,omitempty"`
 	}{Benchmarks: benches}
 
 	// Summary benchmark names are unsuffixed on the cpu=1 run (go test
@@ -137,6 +159,20 @@ func main() {
 			ms.ReductionX = ms.UnbatchedWriteRPCs / ms.BatchedWriteRPCs
 		}
 		doc.Multisnapshot = ms
+	}
+	if *family == "metaoutage" {
+		healthy, okH := benches["BenchmarkFlashCrowdMetaOutage/healthy"]
+		hit, okO := benches["BenchmarkFlashCrowdMetaOutage/outage"]
+		if okH && okO {
+			doc.MetaOutage = &metaOutage{
+				HealthyCompletionS: healthy.Metrics["completion-s"],
+				OutageCompletionS:  hit.Metrics["completion-s"],
+				CompletionDeltaS:   hit.Metrics["completion-s"] - healthy.Metrics["completion-s"],
+				MetaFailovers:      hit.Metrics["meta-failovers"],
+				MetaRereplicated:   hit.Metrics["meta-re-replicated"],
+				FailedDescents:     hit.Metrics["failed-descents"],
+			}
+		}
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")

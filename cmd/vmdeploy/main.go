@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|ablations|all
+//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|metaoutage|ablations|all
 //
 // fig4 prints all four panels of Fig. 4 (multideployment), fig5 both
 // panels of Fig. 5 (multisnapshotting), fig6/fig7 the Bonnie++
@@ -15,7 +15,11 @@
 // flash crowd spread over 3 availability zones with flat vs
 // topology-aware policy (docs/topology.md), multisnap the concurrent
 // commit of all instances against a small provider pool with the
-// unbatched vs batched write path (docs/perf.md). -quick runs the
+// unbatched vs batched write path (docs/perf.md), metaoutage the flash
+// crowd with replicated metadata (WithMetaReplicas) while -kill
+// metadata providers and one compute rack fail mid-run, against a
+// healthy baseline at the same replication (docs/faults.md). -quick
+// runs the
 // scaled-down parameter set (shapes preserved, absolute values not
 // comparable to the paper).
 package main
@@ -40,9 +44,9 @@ func main() {
 	instances := flag.Int("instances", 0, "instance count for fig8/flash/churn/degraded (defaults 100/256/32/256, or 16/64/8/64 with -quick)")
 	cycles := flag.Int("cycles", 8, "snapshot cycles for churn")
 	keep := flag.Int("keep", 2, "keep-last-K retention window for churn (0 = no retention)")
-	kill := flag.Int("kill", 8, "providers killed mid-run for degraded")
+	kill := flag.Int("kill", 8, "providers killed mid-run for degraded and metaoutage")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|metaoutage|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -161,6 +165,19 @@ func main() {
 		}
 		return []*metrics.Table{experiments.CrossZoneTable(pts)}
 	}
+	metaoutage := func() []*metrics.Table {
+		const metaProviders = 16 // RunMetaOutage's default pool size
+		if *kill < 0 || *kill >= metaProviders {
+			fmt.Fprintf(os.Stderr, "vmdeploy: -kill %d out of range [0,%d)\n", *kill, metaProviders)
+			os.Exit(2)
+		}
+		mc := experiments.MetaOutageConfig{Instances: flashN, Sharing: true}
+		healthy := experiments.RunMetaOutage(p, mc)
+		mc.KillMeta = *kill
+		mc.KillRack = true
+		outage := experiments.RunMetaOutage(p, mc)
+		return []*metrics.Table{experiments.MetaOutageTable([]experiments.MetaOutagePoint{healthy, outage})}
+	}
 	multisnap := func() []*metrics.Table {
 		var pts []experiments.MultisnapshotPoint
 		for _, batched := range []bool{false, true} {
@@ -200,6 +217,8 @@ func main() {
 		run("crosszone", crosszone)
 	case "multisnap":
 		run("multisnap", multisnap)
+	case "metaoutage":
+		run("metaoutage", metaoutage)
 	case "ablations":
 		run("ablations", ablations)
 	case "all":
@@ -213,6 +232,7 @@ func main() {
 		run("crosszone", crosszone)
 		run("ablations", ablations)
 		run("multisnap", multisnap)
+		run("metaoutage", metaoutage)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -77,9 +77,14 @@ type (
 	Version = blob.Version
 
 	// FaultEvent schedules one node kill or revival at an absolute
-	// virtual time; build plans with KillAt/ReviveAt and install them
-	// with WithFaultPlan.
+	// virtual time; build plans with KillAt/ReviveAt (or, with a
+	// topology, KillRackAt/KillZoneAt and their revive twins) and
+	// install them with WithFaultPlan.
 	FaultEvent = cluster.FaultEvent
+	// FaultPlanError reports a redundant fault-plan transition (a kill
+	// of a node already dead at that point in the plan, or a revive of
+	// a live one); Open and ValidateFaults reject such plans with it.
+	FaultPlanError = cluster.FaultPlanError
 
 	// Topology arranges a cluster's nodes into zones and racks with
 	// tiered links; install it with WithTopology (and, for modeled
@@ -121,3 +126,32 @@ func KillAt(t float64, node NodeID) FaultEvent { return cluster.KillAt(t, node) 
 // ReviveAt returns the fault-plan event that brings node back at
 // virtual time t (seconds).
 func ReviveAt(t float64, node NodeID) FaultEvent { return cluster.ReviveAt(t, node) }
+
+// KillRackAt returns the fault-plan event that fails every node of the
+// given rack (global rack index, see Topology.Rack) at virtual time t.
+// Rack- and zone-scoped events need a repo opened with WithTopology;
+// they expand to one event per member node when the plan is armed.
+func KillRackAt(t float64, rack int) FaultEvent { return cluster.KillRackAt(t, rack) }
+
+// ReviveRackAt returns the event that brings a whole rack back at
+// virtual time t.
+func ReviveRackAt(t float64, rack int) FaultEvent { return cluster.ReviveRackAt(t, rack) }
+
+// KillZoneAt returns the fault-plan event that fails every node of the
+// given zone at virtual time t. See KillRackAt for the topology
+// requirement.
+func KillZoneAt(t float64, zone int) FaultEvent { return cluster.KillZoneAt(t, zone) }
+
+// ReviveZoneAt returns the event that brings a whole zone back at
+// virtual time t.
+func ReviveZoneAt(t float64, zone int) FaultEvent { return cluster.ReviveZoneAt(t, zone) }
+
+// ValidateFaults checks a fault plan against a cluster size and
+// topology without opening a repo — the same validation Open performs
+// for WithFaultPlan: event times, node/rack/zone ranges, the topology
+// requirement of scoped events, and redundant transitions (rejected
+// with a typed *FaultPlanError). Pass the zero Topology for a flat
+// cluster.
+func ValidateFaults(events []FaultEvent, nodes int, topo Topology) error {
+	return cluster.ValidateFaults(events, nodes, topo)
+}

@@ -65,6 +65,121 @@ func TestWithFaultPlanEndToEnd(t *testing.T) {
 	}
 }
 
+// TestWithMetaReplicasEndToEnd: the replicated control plane through
+// the façade — a repo opened with WithMetaReplicas(2) loses a
+// metadata provider, the tree nodes it held are re-replicated, reads
+// keep resolving metadata through failover, and not a single descent
+// fails.
+func TestWithMetaReplicasEndToEnd(t *testing.T) {
+	fab, repo := newRepo(t, 4,
+		blobvfs.WithReplicas(2),
+		blobvfs.WithMetaReplicas(2),
+		blobvfs.WithFaultPlan(blobvfs.KillAt(0, 1)),
+	)
+	base := img(32<<10, 5)
+	var ref blobvfs.Snapshot
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		var err error
+		ref, err = repo.Create(ctx, "img", base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := repo.ArmFaults(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	st := repo.Stats()
+	if st.MetaRereplicated == 0 {
+		t.Fatal("no metadata re-replicated after the provider death")
+	}
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		disk, err := repo.OpenDisk(ctx, ctx.Node(), ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer disk.Close(ctx)
+		got := make([]byte, len(base))
+		if _, err := disk.ReadAt(ctx, got, 0); err != nil {
+			t.Fatalf("read with a dead metadata provider: %v", err)
+		}
+		if !bytes.Equal(got, base) {
+			t.Fatal("failover read returned wrong bytes")
+		}
+	})
+	st = repo.Stats()
+	if st.MetaFailovers == 0 {
+		t.Fatal("descents over a dead metadata primary recorded no failovers")
+	}
+	if st.FailedDescents != 0 {
+		t.Fatalf("FailedDescents = %d, want 0 (metadata replication must absorb one death)", st.FailedDescents)
+	}
+}
+
+// TestWithMetaReplicasValidation: the degree must fit the provider
+// pool, like WithReplicas.
+func TestWithMetaReplicasValidation(t *testing.T) {
+	fab := blobvfs.NewLiveCluster(3)
+	for _, r := range []int{0, -1, 4} {
+		if _, err := blobvfs.Open(fab, blobvfs.WithMetaReplicas(r)); !errors.Is(err, blobvfs.ErrOutOfRange) {
+			t.Errorf("WithMetaReplicas(%d): err = %v, want ErrOutOfRange", r, err)
+		}
+	}
+}
+
+// TestScopedFaultEventsEndToEnd: rack- and zone-scoped plan events
+// expand to their member nodes when armed, and need a topology to
+// resolve at Open.
+func TestScopedFaultEventsEndToEnd(t *testing.T) {
+	topo := blobvfs.Topology{
+		Zones: 2, RacksPerZone: 2, NodesPerRack: 2,
+		RackBandwidth: 1e9, ZoneBandwidth: 1e9,
+	}
+	fab := blobvfs.NewLiveCluster(8)
+	repo, err := blobvfs.Open(fab,
+		blobvfs.WithTopology(topo),
+		blobvfs.WithFaultPlan(blobvfs.KillRackAt(0, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		if err := repo.ArmFaults(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for n := blobvfs.NodeID(0); n < 8; n++ {
+		want := n != 2 && n != 3 // rack 1 = nodes 2,3
+		if repo.NodeAlive(n) != want {
+			t.Errorf("node %d alive = %v after rack kill, want %v", n, repo.NodeAlive(n), want)
+		}
+	}
+
+	// Scoped events without a topology cannot resolve.
+	if _, err := blobvfs.Open(fab, blobvfs.WithFaultPlan(blobvfs.KillZoneAt(0, 0))); !errors.Is(err, blobvfs.ErrOutOfRange) {
+		t.Fatalf("zone-scoped event on a flat repo: %v, want ErrOutOfRange", err)
+	}
+}
+
+// TestRedundantFaultPlanRejected: a plan that kills an already-dead
+// node (or revives a live one) is a scenario bug; Open rejects it with
+// the typed *FaultPlanError naming the offending transition.
+func TestRedundantFaultPlanRejected(t *testing.T) {
+	fab := blobvfs.NewLiveCluster(4)
+	_, err := blobvfs.Open(fab, blobvfs.WithFaultPlan(
+		blobvfs.KillAt(1, 2), blobvfs.KillAt(3, 2),
+	))
+	var planErr *blobvfs.FaultPlanError
+	if !errors.As(err, &planErr) {
+		t.Fatalf("kill+kill plan: err = %v, want *FaultPlanError", err)
+	}
+	if planErr.Node != 2 || planErr.At != 3 {
+		t.Fatalf("FaultPlanError = %+v, want node 2 at t=3", planErr)
+	}
+	if _, err := blobvfs.Open(fab, blobvfs.WithFaultPlan(blobvfs.ReviveAt(0, 1))); err == nil {
+		t.Fatal("revive-before-kill plan accepted")
+	}
+}
+
 // TestFaultPlanValidationAndArming: malformed plans are rejected at
 // Open, and ArmFaults demands a configured plan on an open repo.
 func TestFaultPlanValidationAndArming(t *testing.T) {

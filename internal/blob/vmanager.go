@@ -16,9 +16,19 @@ import (
 // (the decoupled publication that makes COMMIT cheap, paper §4.2).
 //
 // The manager runs on a single designated node; every operation is a
-// small RPC.
+// small RPC. SetStandbys extends it to a replicated journal group:
+// every mutating operation appends a journal record to the standby
+// nodes before it is acknowledged, and when the manager's host is down
+// the first live standby serves in its place — so Latest/Root/pin
+// state survives the death of its host. Without standbys (the
+// default) every cost stays byte-identical to the unreplicated
+// manager and the host is assumed fault-free.
 type VersionManager struct {
 	node cluster.NodeID
+	// hosts is the journal group: the manager's own node followed by
+	// the configured standbys.
+	hosts []cluster.NodeID
+	alive map[cluster.NodeID]*atomic.Bool // journal-member liveness flags
 
 	// retireEpoch counts retirement events. Versions are immutable and
 	// only ever disappear through retirement, so a client-side cache of
@@ -26,6 +36,10 @@ type VersionManager struct {
 	// exactly as long as this counter does not move; checking it is one
 	// atomic load, off the manager's mutex.
 	retireEpoch atomic.Uint64
+
+	// Failovers counts operations a dead manager host pushed onto a
+	// journal standby. Zero without standbys.
+	Failovers atomic.Int64
 
 	mu    sync.Mutex
 	blobs map[ID]*blobState
@@ -44,11 +58,93 @@ type blobState struct {
 
 // NewVersionManager creates a version manager hosted on the given node.
 func NewVersionManager(node cluster.NodeID) *VersionManager {
-	return &VersionManager{node: node, blobs: make(map[ID]*blobState)}
+	vm := &VersionManager{
+		node:  node,
+		hosts: []cluster.NodeID{node},
+		alive: make(map[cluster.NodeID]*atomic.Bool),
+	}
+	vm.blobs = make(map[ID]*blobState)
+	up := &atomic.Bool{}
+	up.Store(true)
+	vm.alive[node] = up
+	return vm
 }
 
 // Node returns the node hosting the manager.
 func (vm *VersionManager) Node() cluster.NodeID { return vm.node }
+
+// SetStandbys configures the journal standby nodes. Call before any
+// traffic; the manager's own node and duplicates are skipped.
+func (vm *VersionManager) SetStandbys(nodes []cluster.NodeID) {
+	for _, n := range nodes {
+		if _, ok := vm.alive[n]; ok {
+			continue
+		}
+		up := &atomic.Bool{}
+		up.Store(true)
+		vm.alive[n] = up
+		vm.hosts = append(vm.hosts, n)
+	}
+}
+
+// Standbys returns the configured journal standby nodes.
+func (vm *VersionManager) Standbys() []cluster.NodeID { return vm.hosts[1:] }
+
+// NodeChanged is the cluster.Liveness listener for the journal group:
+// it records the member's transition (transitions for other nodes are
+// ignored). The journal needs no repair sweep — every live member
+// already holds the full record stream, and a revived member is
+// deterministically caught up by replaying it, which the model treats
+// as free against the mutation costs already charged.
+func (vm *VersionManager) NodeChanged(_ *cluster.Ctx, node cluster.NodeID, alive bool) {
+	if a, ok := vm.alive[node]; ok {
+		a.Store(alive)
+	}
+}
+
+func (vm *VersionManager) isAlive(node cluster.NodeID) bool {
+	a, ok := vm.alive[node]
+	return ok && a.Load()
+}
+
+// activeHost returns the journal member currently serving manager
+// operations: the manager's own node while it is up, else the first
+// live standby (counted as a failover). With the whole group down the
+// primary is still charged — the model has no notion of a hung RPC,
+// and the caller's operation is doomed with the control plane gone
+// entirely, which the metadata tier's failed gets already surface.
+func (vm *VersionManager) activeHost() cluster.NodeID {
+	if len(vm.hosts) == 1 || vm.isAlive(vm.node) {
+		return vm.node
+	}
+	for _, h := range vm.hosts[1:] {
+		if vm.isAlive(h) {
+			vm.Failovers.Add(1)
+			return h
+		}
+	}
+	return vm.node
+}
+
+// charge costs one read-only manager RPC to the active journal host.
+func (vm *VersionManager) charge(ctx *cluster.Ctx, req, resp int64) {
+	ctx.RPC(vm.activeHost(), req, resp)
+}
+
+// chargeMut costs one mutating manager RPC: the operation to the
+// active host plus a small journal-append record to every other live
+// member of the group, so manager state survives the host's death.
+// Without standbys the loop never runs and the cost is the legacy
+// single RPC.
+func (vm *VersionManager) chargeMut(ctx *cluster.Ctx, req, resp int64) {
+	active := vm.activeHost()
+	ctx.RPC(active, req, resp)
+	for _, h := range vm.hosts {
+		if h != active && vm.isAlive(h) {
+			ctx.RPC(h, 24, 16)
+		}
+	}
+}
 
 // CreateBlob registers a new empty blob with the given geometry and
 // returns its ID. The blob has no published versions yet.
@@ -56,7 +152,7 @@ func (vm *VersionManager) CreateBlob(ctx *cluster.Ctx, size int64, chunkSize int
 	if size < 0 || chunkSize <= 0 {
 		return 0, fmt.Errorf("blob: geometry size=%d chunkSize=%d: %w", size, chunkSize, ErrOutOfRange)
 	}
-	ctx.RPC(vm.node, 32, 16)
+	vm.chargeMut(ctx, 32, 16)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	vm.next++
@@ -75,7 +171,7 @@ func (vm *VersionManager) CreateBlob(ctx *cluster.Ctx, size int64, chunkSize int
 // Info returns a blob's geometry. The result is immutable, so clients
 // cache it; the first fetch charges an RPC.
 func (vm *VersionManager) Info(ctx *cluster.Ctx, id ID) (Info, error) {
-	ctx.RPC(vm.node, 16, 48)
+	vm.charge(ctx, 16, 48)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	st, ok := vm.blobs[id]
@@ -90,7 +186,7 @@ func (vm *VersionManager) Info(ctx *cluster.Ctx, id ID) (Info, error) {
 // Latest chain: clients building on "the current image" never see a
 // snapshot that is scheduled for reclamation.
 func (vm *VersionManager) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
-	ctx.RPC(vm.node, 16, 16)
+	vm.charge(ctx, 16, 16)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	st, ok := vm.blobs[id]
@@ -110,7 +206,7 @@ func (vm *VersionManager) Latest(ctx *cluster.Ctx, id ID) (Version, error) {
 // charged for the whole enumeration, before the state is read — the
 // same observation ordering as every other manager operation.
 func (vm *VersionManager) LiveVersions(ctx *cluster.Ctx, id ID) ([]Version, error) {
-	ctx.RPC(vm.node, 16, 64)
+	vm.charge(ctx, 16, 64)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	st, ok := vm.blobs[id]
@@ -130,7 +226,7 @@ func (vm *VersionManager) LiveVersions(ctx *cluster.Ctx, id ID) ([]Version, erro
 // logically deleted: its root is no longer resolvable, even before the
 // garbage collector has physically reclaimed its storage.
 func (vm *VersionManager) Root(ctx *cluster.Ctx, id ID, v Version) (NodeRef, error) {
-	ctx.RPC(vm.node, 24, 16)
+	vm.charge(ctx, 24, 16)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	st, ok := vm.blobs[id]
@@ -149,7 +245,7 @@ func (vm *VersionManager) Root(ctx *cluster.Ctx, id ID, v Version) (NodeRef, err
 // Ticket reserves the next version number of the blob. The caller must
 // eventually Publish it or the blob's version sequence stalls.
 func (vm *VersionManager) Ticket(ctx *cluster.Ctx, id ID) (Version, error) {
-	ctx.RPC(vm.node, 16, 16)
+	vm.chargeMut(ctx, 16, 16)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	st, ok := vm.blobs[id]
@@ -164,7 +260,7 @@ func (vm *VersionManager) Ticket(ctx *cluster.Ctx, id ID) (Version, error) {
 // (chunks and metadata durable) with the given root, and blocks until
 // the version becomes visible, i.e. all earlier tickets are published.
 func (vm *VersionManager) Publish(ctx *cluster.Ctx, id ID, v Version, root NodeRef) error {
-	ctx.RPC(vm.node, 40, 16)
+	vm.chargeMut(ctx, 40, 16)
 	vm.mu.Lock()
 	st, ok := vm.blobs[id]
 	if !ok {
@@ -295,7 +391,7 @@ func (vm *VersionManager) Pins(id ID, v Version) int {
 // reclaimed by the next garbage collection. Retiring a pinned version
 // fails with *PinnedError — the caller retries after the holder closes.
 func (vm *VersionManager) Retire(ctx *cluster.Ctx, id ID, v Version) error {
-	ctx.RPC(vm.node, 24, 16)
+	vm.chargeMut(ctx, 24, 16)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	st, ok := vm.blobs[id]
@@ -338,7 +434,7 @@ func (vm *VersionManager) IsLive(id ID, v Version) bool {
 // once their holders close). It returns how many versions it retired.
 // This is the primitive behind the keep-last-K retention policy.
 func (vm *VersionManager) RetireUpTo(ctx *cluster.Ctx, id ID, upTo Version) (int, error) {
-	ctx.RPC(vm.node, 24, 16)
+	vm.chargeMut(ctx, 24, 16)
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	st, ok := vm.blobs[id]
@@ -402,6 +498,6 @@ func (vm *VersionManager) LiveRoots(ctx *cluster.Ctx) []LiveRoot {
 		}
 	}
 	vm.mu.Unlock()
-	ctx.RPC(vm.node, 16, int64(len(out))*24+16)
+	vm.charge(ctx, 16, int64(len(out))*24+16)
 	return out
 }

@@ -39,12 +39,45 @@ func (k FaultKind) String() string {
 	return fmt.Sprintf("FaultKind(%d)", uint8(k))
 }
 
+// FaultScope says what a FaultEvent's Node field addresses: a single
+// node, or a whole failure domain of the cluster topology that expands
+// to its member nodes when the plan is armed.
+type FaultScope uint8
+
+const (
+	// ScopeNode targets one node; Node is a NodeID. The zero value, so
+	// plans built before scoped events existed keep their meaning.
+	ScopeNode FaultScope = iota
+	// ScopeRack targets every node of one rack; Node holds the global
+	// rack index (see Topology.Rack).
+	ScopeRack
+	// ScopeZone targets every node of one zone; Node holds the zone
+	// index.
+	ScopeZone
+)
+
+// String renders the scope for plan dumps and test failures.
+func (s FaultScope) String() string {
+	switch s {
+	case ScopeNode:
+		return "node"
+	case ScopeRack:
+		return "rack"
+	case ScopeZone:
+		return "zone"
+	}
+	return fmt.Sprintf("FaultScope(%d)", uint8(s))
+}
+
 // FaultEvent schedules one liveness transition at an absolute virtual
-// time (seconds since the run started).
+// time (seconds since the run started). Scoped events (ScopeRack,
+// ScopeZone) stand for one transition per member node and require an
+// enabled topology to resolve; ExpandFaults performs the expansion.
 type FaultEvent struct {
-	At   float64
-	Node NodeID
-	Kind FaultKind
+	At    float64
+	Node  NodeID
+	Kind  FaultKind
+	Scope FaultScope
 }
 
 // KillAt returns the event that fails node at time t.
@@ -57,18 +90,137 @@ func ReviveAt(t float64, node NodeID) FaultEvent {
 	return FaultEvent{At: t, Node: node, Kind: FaultRevive}
 }
 
-// ValidateFaults checks a fault plan against a cluster size.
-func ValidateFaults(events []FaultEvent, nodes int) error {
+// KillRackAt returns the event that fails every node of the given rack
+// (global rack index) at time t.
+func KillRackAt(t float64, rack int) FaultEvent {
+	return FaultEvent{At: t, Node: NodeID(rack), Kind: FaultKill, Scope: ScopeRack}
+}
+
+// ReviveRackAt returns the event that brings a whole rack back at time t.
+func ReviveRackAt(t float64, rack int) FaultEvent {
+	return FaultEvent{At: t, Node: NodeID(rack), Kind: FaultRevive, Scope: ScopeRack}
+}
+
+// KillZoneAt returns the event that fails every node of the given zone
+// at time t.
+func KillZoneAt(t float64, zone int) FaultEvent {
+	return FaultEvent{At: t, Node: NodeID(zone), Kind: FaultKill, Scope: ScopeZone}
+}
+
+// ReviveZoneAt returns the event that brings a whole zone back at time t.
+func ReviveZoneAt(t float64, zone int) FaultEvent {
+	return FaultEvent{At: t, Node: NodeID(zone), Kind: FaultRevive, Scope: ScopeZone}
+}
+
+// ExpandFaults resolves scoped events into one node-scoped event per
+// member node (ascending node order, all at the scoped event's time),
+// leaving node-scoped events untouched. A plan with no scoped events is
+// returned as-is. Execute's time sort is stable, so the ascending
+// member order survives into execution and the expansion is
+// deterministic.
+func ExpandFaults(events []FaultEvent, topo Topology) []FaultEvent {
+	scoped := false
+	for _, ev := range events {
+		if ev.Scope != ScopeNode {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return events
+	}
+	out := make([]FaultEvent, 0, len(events))
+	for _, ev := range events {
+		first, count := 0, 0
+		switch ev.Scope {
+		case ScopeNode:
+			out = append(out, ev)
+			continue
+		case ScopeRack:
+			count = topo.NodesPerRack
+			first = int(ev.Node) * count
+		case ScopeZone:
+			count = topo.RacksPerZone * topo.NodesPerRack
+			first = int(ev.Node) * count
+		}
+		for n := first; n < first+count; n++ {
+			out = append(out, FaultEvent{At: ev.At, Node: NodeID(n), Kind: ev.Kind})
+		}
+	}
+	return out
+}
+
+// FaultPlanError reports a redundant transition in a fault plan: a
+// kill of a node already dead at that point in the plan (kill+kill) or
+// a revive of a node that is up (revive-before-kill). Such plans are
+// almost always a scenario bug — the duplicate event would silently
+// execute as a no-op — so validation rejects them.
+type FaultPlanError struct {
+	Node NodeID
+	At   float64
+	Kind FaultKind
+}
+
+// Error renders the redundant transition.
+func (e *FaultPlanError) Error() string {
+	state := "dead"
+	if e.Kind == FaultRevive {
+		state = "up"
+	}
+	return fmt.Sprintf("cluster: redundant fault event: %s of node %d at t=%g, but the node is already %s there",
+		e.Kind, e.Node, e.At, state)
+}
+
+// ValidateFaults checks a fault plan against a cluster size and
+// topology. Scoped events need an enabled topology to name their
+// failure domain. The plan is then expanded and simulated in execution
+// order (the stable time sort Execute applies); a redundant transition
+// is rejected with a *FaultPlanError rather than left to silently
+// no-op at run time.
+func ValidateFaults(events []FaultEvent, nodes int, topo Topology) error {
 	for _, ev := range events {
 		if ev.At < 0 {
 			return fmt.Errorf("cluster: fault event at negative time %g", ev.At)
 		}
-		if int(ev.Node) < 0 || int(ev.Node) >= nodes {
-			return fmt.Errorf("cluster: fault event for node %d outside cluster of %d", ev.Node, nodes)
-		}
 		if ev.Kind != FaultKill && ev.Kind != FaultRevive {
 			return fmt.Errorf("cluster: fault event with unknown kind %d", ev.Kind)
 		}
+		switch ev.Scope {
+		case ScopeNode:
+			if int(ev.Node) < 0 || int(ev.Node) >= nodes {
+				return fmt.Errorf("cluster: fault event for node %d outside cluster of %d", ev.Node, nodes)
+			}
+		case ScopeRack:
+			if !topo.Enabled() {
+				return fmt.Errorf("cluster: rack-scoped fault event needs a topology")
+			}
+			if int(ev.Node) < 0 || int(ev.Node) >= topo.Racks() {
+				return fmt.Errorf("cluster: fault event for rack %d outside topology of %d racks", ev.Node, topo.Racks())
+			}
+		case ScopeZone:
+			if !topo.Enabled() {
+				return fmt.Errorf("cluster: zone-scoped fault event needs a topology")
+			}
+			if int(ev.Node) < 0 || int(ev.Node) >= topo.Zones {
+				return fmt.Errorf("cluster: fault event for zone %d outside topology of %d zones", ev.Node, topo.Zones)
+			}
+		default:
+			return fmt.Errorf("cluster: fault event with unknown scope %d", ev.Scope)
+		}
+	}
+	plan := append([]FaultEvent(nil), ExpandFaults(events, topo)...)
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
+	up := make([]bool, nodes)
+	for i := range up {
+		up[i] = true
+	}
+	for _, ev := range plan {
+		// A kill of a dead node or a revive of a live one would no-op.
+		after := ev.Kind == FaultRevive
+		if up[ev.Node] == after {
+			return &FaultPlanError{Node: ev.Node, At: ev.At, Kind: ev.Kind}
+		}
+		up[ev.Node] = after
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -89,7 +90,8 @@ func TestFaultPlanExecution(t *testing.T) {
 
 // TestValidateFaults rejects malformed plans.
 func TestValidateFaults(t *testing.T) {
-	if err := ValidateFaults([]FaultEvent{KillAt(1, 3)}, 4); err != nil {
+	flat := Topology{}
+	if err := ValidateFaults([]FaultEvent{KillAt(1, 3)}, 4, flat); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
 	}
 	for _, bad := range [][]FaultEvent{
@@ -97,12 +99,94 @@ func TestValidateFaults(t *testing.T) {
 		{KillAt(1, 4)},
 		{ReviveAt(1, -1)},
 		{{At: 1, Node: 0, Kind: FaultKind(9)}},
+		{{At: 1, Node: 0, Kind: FaultKill, Scope: FaultScope(9)}},
+		{KillRackAt(1, 0)}, // scoped event on a flat cluster
+		{KillZoneAt(1, 0)},
 	} {
-		if err := ValidateFaults(bad, 4); err == nil {
+		if err := ValidateFaults(bad, 4, flat); err == nil {
 			t.Errorf("plan %v accepted", bad)
 		}
 	}
 	if FaultKill.String() != "kill" || FaultRevive.String() != "revive" {
 		t.Error("FaultKind strings wrong")
+	}
+	if ScopeNode.String() != "node" || ScopeRack.String() != "rack" || ScopeZone.String() != "zone" {
+		t.Error("FaultScope strings wrong")
+	}
+}
+
+// TestValidateFaultsRedundantTransitions: plans whose events would
+// silently no-op — a kill of a node already dead at that point or a
+// revive of a live one — are rejected with a typed *FaultPlanError.
+func TestValidateFaultsRedundantTransitions(t *testing.T) {
+	topo := Topology{Zones: 2, RacksPerZone: 2, NodesPerRack: 2,
+		RackBandwidth: 1, ZoneBandwidth: 1}
+	cases := []struct {
+		name string
+		plan []FaultEvent
+		bad  bool
+	}{
+		{"kill then revive then kill", []FaultEvent{KillAt(1, 0), ReviveAt(2, 0), KillAt(3, 0)}, false},
+		{"kill twice", []FaultEvent{KillAt(1, 0), KillAt(2, 0)}, true},
+		{"revive before kill", []FaultEvent{ReviveAt(1, 0)}, true},
+		{"revive twice", []FaultEvent{KillAt(1, 0), ReviveAt(2, 0), ReviveAt(3, 0)}, true},
+		{"out-of-order times still simulate in time order", []FaultEvent{ReviveAt(2, 0), KillAt(1, 0)}, false},
+		{"two nodes independent", []FaultEvent{KillAt(1, 0), KillAt(1, 1), ReviveAt(2, 1)}, false},
+		{"node kill inside killed rack", []FaultEvent{KillRackAt(1, 0), KillAt(2, 1)}, true},
+		{"rack kill then zone kill overlapping", []FaultEvent{KillRackAt(1, 0), KillZoneAt(2, 0)}, true},
+		{"rack kill then rack revive", []FaultEvent{KillRackAt(1, 1), ReviveRackAt(2, 1)}, false},
+		{"zone kill then zone revive", []FaultEvent{KillZoneAt(1, 0), ReviveZoneAt(2, 0)}, false},
+		{"zone revive over a live zone", []FaultEvent{ReviveZoneAt(1, 1)}, true},
+		{"zone kill disjoint from rack kill", []FaultEvent{KillRackAt(1, 0), KillZoneAt(2, 1)}, false},
+	}
+	for _, tc := range cases {
+		err := ValidateFaults(tc.plan, 8, topo)
+		if tc.bad {
+			var planErr *FaultPlanError
+			if !errors.As(err, &planErr) {
+				t.Errorf("%s: err = %v, want *FaultPlanError", tc.name, err)
+			} else if planErr.Error() == "" {
+				t.Errorf("%s: empty error text", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: valid plan rejected: %v", tc.name, err)
+		}
+	}
+}
+
+// TestExpandFaults: rack- and zone-scoped events expand to their
+// member nodes in ascending order; plain plans pass through untouched.
+func TestExpandFaults(t *testing.T) {
+	topo := Topology{Zones: 2, RacksPerZone: 2, NodesPerRack: 2,
+		RackBandwidth: 1, ZoneBandwidth: 1}
+	plain := []FaultEvent{KillAt(1, 3)}
+	if got := ExpandFaults(plain, topo); !reflect.DeepEqual(got, plain) {
+		t.Fatalf("plain plan changed: %v", got)
+	}
+	got := ExpandFaults([]FaultEvent{KillRackAt(1, 1), KillZoneAt(2, 1), ReviveAt(3, 0)}, topo)
+	want := []FaultEvent{
+		KillAt(1, 2), KillAt(1, 3),
+		KillAt(2, 4), KillAt(2, 5), KillAt(2, 6), KillAt(2, 7),
+		ReviveAt(3, 0),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expansion = %v, want %v", got, want)
+	}
+	// The expanded plan executes like any other: the whole rack dies.
+	fab := NewSim(DefaultConfig(8))
+	lv := NewLiveness(8)
+	if lv.Nodes() != 8 {
+		t.Fatalf("Nodes() = %d, want 8", lv.Nodes())
+	}
+	fab.Run(func(ctx *Ctx) {
+		ctx.Wait(lv.Execute(ctx, ExpandFaults([]FaultEvent{KillRackAt(1, 1)}, topo)))
+	})
+	for n := NodeID(0); n < 8; n++ {
+		wantAlive := n != 2 && n != 3
+		if lv.Alive(n) != wantAlive {
+			t.Errorf("node %d alive = %v, want %v", n, lv.Alive(n), wantAlive)
+		}
 	}
 }

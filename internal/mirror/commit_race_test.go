@@ -206,6 +206,100 @@ func TestCloneCleansUpOnPinFailure(t *testing.T) {
 	})
 }
 
+// TestCommitSurvivesProviderDeathMidCommit: on a replicated rig, a
+// provider dying between a commit's local prepare and its publish must
+// not fail the commit — the chunk and metadata puts write around the
+// dead node. A commit attempted with every provider down DOES fail,
+// with the dirty map intact, so the same data commits cleanly once
+// providers return.
+func TestCommitSurvivesProviderDeathMidCommit(t *testing.T) {
+	const chunk = 4 << 10
+	const nodes = 4
+	fab := cluster.NewSim(cluster.DefaultConfig(nodes))
+	provs := make([]cluster.NodeID, nodes)
+	for i := range provs {
+		provs[i] = cluster.NodeID(i)
+	}
+	sys := blob.NewSystem(provs, 0, 2)
+	sys.Meta.SetReplication(2)
+	lv := cluster.NewLiveness(nodes)
+	lv.OnChange(sys.Meta.NodeChanged)
+	lv.OnChange(sys.Providers.NodeChanged)
+	mod := NewModule(0, blob.NewClient(sys), DefaultConfig())
+
+	fab.Run(func(ctx *cluster.Ctx) {
+		c := blob.NewClient(sys)
+		id, err := c.Create(ctx, 2*chunk, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := bytes.Repeat([]byte{0x11}, 2*chunk)
+		v1, err := c.WriteAt(ctx, id, 0, base, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := mod.Open(ctx, id, v1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A kill lands between prepare and publish: the commit must
+		// still go through, writing around the dead provider.
+		first := bytes.Repeat([]byte{0x22}, chunk)
+		if _, err := im.WriteAt(ctx, first, 0); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := im.prepareCommit(ctx)
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		lv.Kill(ctx, 1)
+		v2, err := im.publishCommit(ctx, plan)
+		if err != nil {
+			t.Fatalf("publish with a dead provider: %v", err)
+		}
+		got := make([]byte, chunk)
+		if err := blob.NewClient(sys).ReadAt(ctx, id, v2, got, 0); err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if !bytes.Equal(got, first) {
+			t.Fatal("mid-commit kill corrupted the committed data")
+		}
+
+		// Total outage: the commit fails cleanly — no version consumed,
+		// dirty map intact — and succeeds verbatim after the revives.
+		second := bytes.Repeat([]byte{0x33}, chunk)
+		if _, err := im.WriteAt(ctx, second, chunk); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range provs {
+			lv.Kill(ctx, n)
+		}
+		if _, err := im.Commit(ctx); !errors.Is(err, blob.ErrNoReplica) {
+			t.Fatalf("commit during total outage: %v, want ErrNoReplica", err)
+		}
+		if !im.Dirty() {
+			t.Fatal("failed commit wiped the dirty map")
+		}
+		for _, n := range provs {
+			lv.Revive(ctx, n)
+		}
+		v3, err := im.Commit(ctx)
+		if err != nil {
+			t.Fatalf("commit after revival: %v", err)
+		}
+		if v3 <= v2 {
+			t.Fatalf("post-outage commit published nothing (v=%d)", v3)
+		}
+		if err := blob.NewClient(sys).ReadAt(ctx, id, v3, got, chunk); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, second) {
+			t.Fatal("data written before the outage is wrong after the recovery commit")
+		}
+	})
+}
+
 // TestSyntheticCommitTagsDistinctPerChunk: the synthetic fallback
 // payload tag must mix in the chunk index — a commit of N synthetic
 // chunks under deduplication must store N distinct chunks, not alias

@@ -1,6 +1,7 @@
 package blobvfs
 
 import (
+	"errors"
 	"fmt"
 
 	"blobvfs/internal/cluster"
@@ -10,18 +11,19 @@ import (
 // config is the resolved Repo configuration; Open applies defaults,
 // then options, then validates.
 type config struct {
-	providers  []NodeID
-	manager    NodeID
-	replicas   int
-	chunkSize  int
-	mirror     mirror.Config
-	extentCap  int // 0 keeps the client default
-	p2p        *P2PConfig
-	retainLast int // 0 disables the repo-level retention default
-	dedup      bool
-	batched    bool
-	faults     []FaultEvent
-	topo       Topology
+	providers    []NodeID
+	manager      NodeID
+	replicas     int
+	metaReplicas int
+	chunkSize    int
+	mirror       mirror.Config
+	extentCap    int // 0 keeps the client default
+	p2p          *P2PConfig
+	retainLast   int // 0 disables the repo-level retention default
+	dedup        bool
+	batched      bool
+	faults       []FaultEvent
+	topo         Topology
 }
 
 // Option configures a Repo at Open.
@@ -43,6 +45,21 @@ func WithManager(node NodeID) Option {
 // WithReplicas sets the chunk replication degree. Default: 1.
 func WithReplicas(k int) Option {
 	return func(c *config) { c.replicas = k }
+}
+
+// WithMetaReplicas sets the metadata replication degree: each segment-
+// tree node ref maps to an r-replica ring over the metadata providers
+// (spread across failure domains with WithTopology), writes fan out to
+// every live ring member and write around dead ones, reads probe the
+// nearest live replica first and fail over down the ring, and every
+// liveness transition triggers a metadata repair sweep that restores
+// the degree. The version manager's records are journaled to r-1
+// standby nodes the same way, so control-plane state survives the
+// death of its host. Default: 1 — today's single-home layout with the
+// control plane assumed fault-free, byte-identical to a repo opened
+// before metadata replication existed.
+func WithMetaReplicas(r int) Option {
+	return func(c *config) { c.metaReplicas = r }
 }
 
 // WithChunkSize sets the stripe unit in bytes. Default: 256 KB (the
@@ -135,8 +152,14 @@ func WithTopology(t Topology) Option {
 }
 
 // WithFaultPlan configures a fault-injection plan: each event kills or
-// revives one node at an absolute virtual time (build them with KillAt
-// and ReviveAt). The plan does not run by itself — call Repo.ArmFaults
+// revives one node — or a whole rack or zone — at an absolute virtual
+// time (build them with KillAt/ReviveAt and, on a repo opened with
+// WithTopology, KillRackAt/ReviveRackAt/KillZoneAt/ReviveZoneAt, which
+// expand to their member nodes when the plan is armed). Open rejects
+// plans whose events are redundant for some node — a kill of a node
+// already dead at that point, or a revive of a live one — with a typed
+// *FaultPlanError instead of silently executing the no-op.
+// The plan does not run by itself — call Repo.ArmFaults
 // from an activity to start the injector. While armed, a killed
 // provider stops serving chunks (reads fail over to surviving replicas
 // and the chunks it held are re-replicated), and a killed cohort peer
@@ -172,13 +195,23 @@ func (c *config) validate(nodes int) error {
 		return fmt.Errorf("blobvfs: replication degree %d invalid for %d providers: %w",
 			c.replicas, len(c.providers), ErrOutOfRange)
 	}
+	if c.metaReplicas < 1 || c.metaReplicas > len(c.providers) {
+		return fmt.Errorf("blobvfs: metadata replication degree %d invalid for %d providers: %w",
+			c.metaReplicas, len(c.providers), ErrOutOfRange)
+	}
 	if c.retainLast < 0 {
 		return fmt.Errorf("blobvfs: retention window %d: %w", c.retainLast, ErrOutOfRange)
 	}
-	if err := cluster.ValidateFaults(c.faults, nodes); err != nil {
+	// The topology validates first: fault validation needs it to
+	// resolve rack- and zone-scoped events.
+	if err := c.topo.Validate(nodes); err != nil {
 		return fmt.Errorf("blobvfs: %w: %w", err, ErrOutOfRange)
 	}
-	if err := c.topo.Validate(nodes); err != nil {
+	if err := cluster.ValidateFaults(c.faults, nodes, c.topo); err != nil {
+		var planErr *cluster.FaultPlanError
+		if errors.As(err, &planErr) {
+			return fmt.Errorf("blobvfs: %w", err)
+		}
 		return fmt.Errorf("blobvfs: %w: %w", err, ErrOutOfRange)
 	}
 	return nil

@@ -30,9 +30,11 @@ type Repo struct {
 	sys     *blob.System
 	sharing *p2p.Registry // nil without WithP2P
 	// liveness is the repo's node up/down registry: the provider set
-	// (failover + re-replication) and the sharing tracker (dead-peer
-	// retraction) subscribe to it at Open; ArmFaults feeds it the
-	// WithFaultPlan schedule.
+	// (failover + re-replication), the metadata service and version
+	// manager (with WithMetaReplicas), and the sharing tracker
+	// (dead-peer retraction) subscribe to it at Open; ArmFaults feeds
+	// it the WithFaultPlan schedule, expanding rack- and zone-scoped
+	// events to their member nodes first.
 	liveness *cluster.Liveness
 
 	closed      atomic.Bool
@@ -58,9 +60,10 @@ func Open(fab Fabric, opts ...Option) (*Repo, error) {
 		return nil, fmt.Errorf("blobvfs: nil fabric: %w", ErrOutOfRange)
 	}
 	cfg := config{
-		replicas:  1,
-		chunkSize: 256 << 10,
-		mirror:    mirror.DefaultConfig(),
+		replicas:     1,
+		metaReplicas: 1,
+		chunkSize:    256 << 10,
+		mirror:       mirror.DefaultConfig(),
 	}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -87,6 +90,33 @@ func Open(fab Fabric, opts ...Option) (*Repo, error) {
 		r.sys.Providers.SetTopology(cfg.topo)
 	}
 	r.liveness = cluster.NewLiveness(fab.Nodes())
+	// The control-plane listeners register before the provider set's:
+	// listeners run in registration order and block the injector, and
+	// a chunk re-replication sweep can take virtual seconds — the
+	// metadata and version-manager flags must flip (and the cheap
+	// metadata sweep run) before that, or reads issued right after a
+	// kill would still be routed to the dead control-plane replica.
+	if cfg.metaReplicas > 1 {
+		r.sys.Meta.SetReplication(cfg.metaReplicas)
+		if cfg.topo.Enabled() {
+			r.sys.Meta.SetTopology(cfg.topo)
+		}
+		r.liveness.OnChange(r.sys.Meta.NodeChanged)
+		// The version manager's journal standbys: the first r-1
+		// providers distinct from its own host.
+		var standbys []NodeID
+		for _, n := range cfg.providers {
+			if n == cfg.manager {
+				continue
+			}
+			standbys = append(standbys, n)
+			if len(standbys) == cfg.metaReplicas-1 {
+				break
+			}
+		}
+		r.sys.VM.SetStandbys(standbys)
+		r.liveness.OnChange(r.sys.VM.NodeChanged)
+	}
 	r.liveness.OnChange(r.sys.Providers.NodeChanged)
 	if cfg.p2p != nil {
 		r.sharing = p2p.NewRegistry(cfg.manager, *cfg.p2p)
@@ -414,7 +444,19 @@ func (r *Repo) P2PEnabled() bool { return r.sharing != nil }
 // cohort peers are retracted from the sharing layer. Without a
 // configured plan ArmFaults fails with ErrNotFound; arming twice is a
 // no-op (the plan runs once).
-func (r *Repo) ArmFaults(ctx *Ctx) error {
+func (r *Repo) ArmFaults(ctx *Ctx) error { return r.armFaults(ctx, false) }
+
+// ArmFaultsRebased is ArmFaults with the plan's event times read as
+// offsets from the arming instant instead of absolute virtual time.
+// On a simulated fabric whose clock already advanced — image
+// population alone can consume virtual seconds — an absolute plan
+// written for "t seconds into the experiment" is often entirely in
+// the past by the time the measured phase starts, so every event
+// fires immediately back-to-back; rebasing keeps the configured
+// spacing relative to the phase the caller arms it from.
+func (r *Repo) ArmFaultsRebased(ctx *Ctx) error { return r.armFaults(ctx, true) }
+
+func (r *Repo) armFaults(ctx *Ctx, rebase bool) error {
 	if err := r.checkOpen(); err != nil {
 		return err
 	}
@@ -424,7 +466,17 @@ func (r *Repo) ArmFaults(ctx *Ctx) error {
 	if !r.faultsArmed.CompareAndSwap(false, true) {
 		return nil
 	}
-	r.liveness.Execute(ctx, r.cfg.faults)
+	plan := cluster.ExpandFaults(r.cfg.faults, r.cfg.topo)
+	if rebase {
+		now := ctx.Now()
+		shifted := make([]FaultEvent, len(plan))
+		for i, ev := range plan {
+			ev.At += now
+			shifted[i] = ev
+		}
+		plan = shifted
+	}
+	r.liveness.Execute(ctx, plan)
 	return nil
 }
 
@@ -526,6 +578,19 @@ type RepoStats struct {
 	FailedFetches int64
 	Failovers     int64
 	Rereplicated  int64
+
+	// The metadata-tier twins, live with WithMetaReplicas(r > 1):
+	// FailedDescents counts metadata gets that found no live replica
+	// (each one fails a client descent), MetaFailovers counts gets a
+	// dead replica pushed onto a surviving one, MetaRereplicated
+	// counts tree-node copies restored by repair sweeps, and
+	// VMFailovers counts version-manager operations a journal standby
+	// served in place of the dead manager host. All stay zero at
+	// metadata replication degree 1.
+	FailedDescents   int64
+	MetaFailovers    int64
+	MetaRereplicated int64
+	VMFailovers      int64
 }
 
 // Stats samples the repository's current storage footprint.
@@ -540,6 +605,11 @@ func (r *Repo) Stats() RepoStats {
 		FailedFetches:   r.sys.Providers.FailedReads.Load(),
 		Failovers:       r.sys.Providers.Failovers.Load(),
 		Rereplicated:    r.sys.Providers.Rereplicated.Load(),
+
+		FailedDescents:   r.sys.Meta.FailedGets.Load(),
+		MetaFailovers:    r.sys.Meta.Failovers.Load(),
+		MetaRereplicated: r.sys.Meta.Rereplicated.Load(),
+		VMFailovers:      r.sys.VM.Failovers.Load(),
 	}
 }
 

@@ -10,18 +10,23 @@
 # topology-aware, with the reduction factor) and ns/op — and the
 # multisnapshot write path into BENCH_multisnapshot.json — provider
 # write RPCs per commit round, unbatched vs batched, with the
-# reduction factor and ns/op.
+# reduction factor and ns/op — and the metadata-outage family into
+# BENCH_metaoutage.json — flash-crowd completion healthy vs with half
+# the metadata providers and a compute rack down, with the failover,
+# re-replication and failed-descent counts.
 #
-# Usage: scripts/bench.sh [output-file] [json-file] [multisnap-json-file]
+# Usage: scripts/bench.sh [output-file] [json-file] [multisnap-json-file] [metaoutage-json-file]
 set -eu
 
 out="${1:-bench.txt}"
 json="${2:-BENCH_flashcrowd.json}"
 msjson="${3:-BENCH_multisnapshot.json}"
+mojson="${4:-BENCH_metaoutage.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkFlashCrowdCrossZone|BenchmarkMultisnapshot1024|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
+  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkFlashCrowdCrossZone|BenchmarkFlashCrowdMetaOutage|BenchmarkMultisnapshot1024|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
   -benchmem -count=1 -cpu 1,8 -timeout 30m . | tee "$out"
 
 go run ./cmd/benchjson -in "$out" -family flashcrowd -out "$json"
 go run ./cmd/benchjson -in "$out" -family multisnapshot -out "$msjson"
+go run ./cmd/benchjson -in "$out" -family metaoutage -out "$mojson"
