@@ -51,3 +51,4 @@ bench:
 fuzz:
 	go test -run '^$$' -fuzz FuzzBuildVersion -fuzztime 20s ./internal/blob
 	go test -run '^$$' -fuzz FuzzCollectLeaves -fuzztime 20s ./internal/blob
+	go test -run '^$$' -fuzz FuzzImportArchive -fuzztime 20s .

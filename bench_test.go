@@ -414,6 +414,29 @@ func BenchmarkChurn(b *testing.B) {
 	b.ReportMetric(pt.Completion, "completion-s")
 }
 
+// BenchmarkExportImport runs the differential-sync scenario: a base
+// image shipped once in full, then four commit rounds each shipped as
+// a delta archive to a downstream repository on a disjoint provider
+// pool. The headline is the reduction factor — how many times smaller
+// the average delta is than re-shipping the full image — gated at 5x:
+// if deltas stop being deltas, the subsystem lost its point.
+func BenchmarkExportImport(b *testing.B) {
+	p := experiments.Quick()
+	var pt experiments.SyncPoint
+	for i := 0; i < b.N; i++ {
+		pt = experiments.RunSync(p, experiments.SyncConfig{})
+	}
+	b.ReportMetric(pt.AvgDeltaMB, "delta-MB")
+	b.ReportMetric(pt.FullMB, "full-MB")
+	b.ReportMetric(pt.Reduction, "reduction-x")
+	b.ReportMetric(float64(pt.ShippedChunks), "shipped-chunks")
+	b.ReportMetric(float64(pt.DedupedChunks), "deduped-chunks")
+	if pt.Reduction < 5 {
+		b.Fatalf("delta sync shipped only %.2fx less than full re-ships (full %.2f MB, avg delta %.2f MB), want >= 5x",
+			pt.Reduction, pt.FullMB, pt.AvgDeltaMB)
+	}
+}
+
 // BenchmarkCommitDataStructures measures the in-memory cost of the
 // COMMIT primitive itself (no simulation): shadowing a 2 GB image's
 // segment tree (8192 chunks) with a 60-chunk diff on a live fabric —

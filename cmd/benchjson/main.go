@@ -15,8 +15,12 @@
 //     benchmark lines, plus a meta_outage summary with both arms'
 //     completion times, the outage delta, and the metadata failover,
 //     re-replication and failed-descent counts.
+//   - family export → BENCH_export.json: the differential-sync
+//     benchmark line, plus an export summary with the average delta
+//     and full-image byte counts, the reduction factor, and the
+//     shipped and import-side-deduplicated chunk counts.
 //
-// Usage: benchjson [-in bench.txt] [-out BENCH_<family>.json] [-family flashcrowd|multisnapshot|metaoutage]
+// Usage: benchjson [-in bench.txt] [-out BENCH_<family>.json] [-family flashcrowd|multisnapshot|metaoutage|export]
 package main
 
 import (
@@ -61,6 +65,19 @@ type multisnapshot struct {
 	BatchedNsOp        float64 `json:"batched_ns_op"`
 }
 
+// exportSummary is the headline summary of the differential-sync
+// subsystem: bytes an average delta round ships vs re-shipping the
+// full image, the reduction factor (gated at 5x by the benchmark
+// itself), and how many shipped chunks the importing side deduplicated
+// into storage it already had.
+type exportSummary struct {
+	DeltaBytes    float64 `json:"delta_bytes"`
+	FullBytes     float64 `json:"full_bytes"`
+	ReductionX    float64 `json:"reduction_x"`
+	ShippedChunks float64 `json:"shipped_chunks"`
+	DedupedChunks float64 `json:"deduped_chunks"`
+}
+
 // metaOutage is the headline summary of control-plane resilience:
 // flash-crowd completion with a healthy control plane vs one that lost
 // half its metadata providers plus a compute rack mid-run, the descents
@@ -89,6 +106,8 @@ func main() {
 		prefix = "BenchmarkMultisnapshot"
 	case "metaoutage":
 		prefix = "BenchmarkFlashCrowdMetaOutage"
+	case "export":
+		prefix = "BenchmarkExportImport"
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown family %q\n", *family)
 		os.Exit(2)
@@ -128,6 +147,7 @@ func main() {
 		CrossZone     *crossZone           `json:"cross_zone,omitempty"`
 		Multisnapshot *multisnapshot       `json:"multisnapshot,omitempty"`
 		MetaOutage    *metaOutage          `json:"meta_outage,omitempty"`
+		Export        *exportSummary       `json:"export,omitempty"`
 	}{Benchmarks: benches}
 
 	// Summary benchmark names are unsuffixed on the cpu=1 run (go test
@@ -159,6 +179,15 @@ func main() {
 			ms.ReductionX = ms.UnbatchedWriteRPCs / ms.BatchedWriteRPCs
 		}
 		doc.Multisnapshot = ms
+	}
+	if exp, ok := benches["BenchmarkExportImport"]; ok {
+		doc.Export = &exportSummary{
+			DeltaBytes:    exp.Metrics["delta-MB"] * 1e6,
+			FullBytes:     exp.Metrics["full-MB"] * 1e6,
+			ReductionX:    exp.Metrics["reduction-x"],
+			ShippedChunks: exp.Metrics["shipped-chunks"],
+			DedupedChunks: exp.Metrics["deduped-chunks"],
+		}
 	}
 	if *family == "metaoutage" {
 		healthy, okH := benches["BenchmarkFlashCrowdMetaOutage/healthy"]

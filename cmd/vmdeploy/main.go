@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|metaoutage|ablations|all
+//	vmdeploy [-quick] [-seed N] [-sweep 1,10,30,...] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|metaoutage|sync|ablations|all
 //
 // fig4 prints all four panels of Fig. 4 (multideployment), fig5 both
 // panels of Fig. 5 (multisnapshotting), fig6/fig7 the Bonnie++
@@ -18,7 +18,10 @@
 // unbatched vs batched write path (docs/perf.md), metaoutage the flash
 // crowd with replicated metadata (WithMetaReplicas) while -kill
 // metadata providers and one compute rack fail mid-run, against a
-// healthy baseline at the same replication (docs/faults.md). -quick
+// healthy baseline at the same replication (docs/faults.md), sync the
+// disconnected-site workflow: an upstream lineage shipped to a
+// downstream repository on a disjoint provider pool as one full
+// archive plus per-commit deltas (docs/sync.md). -quick
 // runs the
 // scaled-down parameter set (shapes preserved, absolute values not
 // comparable to the paper).
@@ -46,7 +49,7 @@ func main() {
 	keep := flag.Int("keep", 2, "keep-last-K retention window for churn (0 = no retention)")
 	kill := flag.Int("kill", 8, "providers killed mid-run for degraded and metaoutage")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|metaoutage|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: vmdeploy [flags] fig4|fig5|fig6|fig7|fig8|flash|churn|degraded|crosszone|multisnap|metaoutage|sync|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -188,6 +191,10 @@ func main() {
 		}
 		return []*metrics.Table{experiments.MultisnapshotTable(pts)}
 	}
+	syncScenario := func() []*metrics.Table {
+		pt := experiments.RunSync(p, experiments.SyncConfig{})
+		return []*metrics.Table{experiments.SyncTable(pt)}
+	}
 	ablations := func() []*metrics.Table {
 		n := 16
 		if !*quick {
@@ -219,6 +226,8 @@ func main() {
 		run("multisnap", multisnap)
 	case "metaoutage":
 		run("metaoutage", metaoutage)
+	case "sync":
+		run("sync", syncScenario)
 	case "ablations":
 		run("ablations", ablations)
 	case "all":
@@ -233,6 +242,7 @@ func main() {
 		run("ablations", ablations)
 		run("multisnap", multisnap)
 		run("metaoutage", metaoutage)
+		run("sync", syncScenario)
 	default:
 		flag.Usage()
 		os.Exit(2)

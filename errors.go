@@ -3,6 +3,7 @@ package blobvfs
 import (
 	"blobvfs/internal/blob"
 	"blobvfs/internal/mirror"
+	reposync "blobvfs/internal/sync"
 )
 
 // The façade's error taxonomy. These are the same sentinel values the
@@ -42,6 +43,21 @@ var (
 	// ErrSynthetic reports a data-carrying operation on a synthetic
 	// disk (costs modeled, no bytes materialized).
 	ErrSynthetic = mirror.ErrSynthetic
+
+	// ErrArchiveCorrupt reports a sync archive that fails structural
+	// validation: truncation, a bad magic or format version, a
+	// checksum mismatch, or records that violate their invariants.
+	ErrArchiveCorrupt = reposync.ErrArchiveCorrupt
+	// ErrSequenceGap reports a sync archive that is not the exact
+	// successor of the last one imported (a skipped delta, a replay,
+	// or a full archive for an image already tracked).
+	ErrSequenceGap = reposync.ErrSequenceGap
+	// ErrBaseMissing reports a delta archive whose base version the
+	// importing repository never imported or has retired.
+	ErrBaseMissing = reposync.ErrBaseMissing
+	// ErrSourceMismatch reports a sync archive from a different
+	// source repository than the one this importer syncs from.
+	ErrSourceMismatch = reposync.ErrSourceMismatch
 )
 
 // NotFoundError carries the kind and identity of a missing object; it

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"blobvfs"
+	"blobvfs/internal/cluster"
+	"blobvfs/internal/metrics"
+	"blobvfs/internal/sim"
+)
+
+// This file implements the sync scenario: the disconnected-site
+// workflow (docs/sync.md) measured on the axis the differential
+// export/import subsystem moves — bytes shipped per synchronization
+// round. Two repositories live on one fabric but share no providers:
+// the upstream accumulates a snapshot lineage under the §5.3 local-
+// modification pattern, and after every commit a delta archive carries
+// exactly the chunks the downstream lacks. The headline is the delta
+// size against the full-image ship a naive mirror would repeat each
+// round, plus how many shipped chunks the importing side deduplicated
+// into storage it already had.
+
+// SyncConfig parameterizes one sync run.
+type SyncConfig struct {
+	// Rounds is how many write→commit→export→import cycles follow the
+	// initial full ship (default 4).
+	Rounds int
+	// Providers is the provider pool size per repository (default 4).
+	Providers int
+	// DiffBytes is the per-round local modification size (default
+	// Params.SnapshotDiff).
+	DiffBytes int64
+	// HotBytes confines each round's writes to the first HotBytes of
+	// the image (default 4×DiffBytes), the churn scenario's working-set
+	// model: rewrites land on the same spots round after round.
+	HotBytes int64
+}
+
+// SyncRound reports one shipped archive.
+type SyncRound struct {
+	Stage     string  // "full" or "delta N"
+	Versions  int     // versions carried by the archive
+	Chunks    int     // chunk payloads shipped
+	Deduped   int     // shipped chunks the importer already stored
+	ShippedMB float64 // logical payload+metadata bytes shipped
+	FullMB    float64 // what a full-image ship would carry
+	Reduction float64 // FullMB / ShippedMB
+}
+
+// SyncPoint reports one sync run.
+type SyncPoint struct {
+	Rounds    int
+	Providers int
+	ImageMB   float64
+
+	FullMB     float64 // the initial full ship
+	AvgDeltaMB float64 // mean delta round size
+	Reduction  float64 // FullMB / AvgDeltaMB — the headline
+
+	ShippedChunks int // total chunks shipped over all rounds
+	DedupedChunks int // total import-side dedup hits
+
+	PerRound []SyncRound
+}
+
+// RunSync deploys an upstream and a downstream repository on disjoint
+// provider pools of one fabric, ships the base image as a full archive,
+// then runs sc.Rounds modification→commit→delta-sync cycles, verifying
+// after the last round that the downstream can read the newest version
+// end to end.
+func RunSync(p Params, sc SyncConfig) SyncPoint {
+	if sc.Rounds <= 0 {
+		sc.Rounds = 4
+	}
+	if sc.Providers <= 0 {
+		sc.Providers = 4
+	}
+	if sc.DiffBytes <= 0 {
+		sc.DiffBytes = p.SnapshotDiff
+	}
+	if sc.HotBytes <= 0 {
+		sc.HotBytes = 4 * sc.DiffBytes
+	}
+	if sc.HotBytes > p.ImageSize {
+		sc.HotBytes = p.ImageSize
+	}
+
+	fab := cluster.NewSim(cluster.DefaultConfig(2 * sc.Providers))
+	var upNodes, downNodes []cluster.NodeID
+	for i := 0; i < sc.Providers; i++ {
+		upNodes = append(upNodes, cluster.NodeID(i))
+		downNodes = append(downNodes, cluster.NodeID(sc.Providers+i))
+	}
+	open := func(nodes []cluster.NodeID, uuid uint64) *blobvfs.Repo {
+		r, err := blobvfs.Open(fab,
+			blobvfs.WithProviders(nodes...),
+			blobvfs.WithManager(nodes[0]),
+			blobvfs.WithChunkSize(p.ChunkSize),
+			blobvfs.WithDedup(),
+			blobvfs.WithSyncUUID(uuid))
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
+	up := open(upNodes, 1)
+	down := open(downNodes, 2)
+
+	pt := SyncPoint{
+		Rounds:    sc.Rounds,
+		Providers: sc.Providers,
+		ImageMB:   float64(p.ImageSize) / (1 << 20),
+	}
+	record := func(stage string, est blobvfs.ExportStats, ist blobvfs.ImportStats) {
+		r := SyncRound{
+			Stage:     stage,
+			Versions:  est.Versions,
+			Chunks:    est.Chunks,
+			Deduped:   ist.DedupedChunks,
+			ShippedMB: float64(est.DeltaBytes()) / (1 << 20),
+			FullMB:    float64(est.FullBytes) / (1 << 20),
+		}
+		if r.ShippedMB > 0 {
+			r.Reduction = r.FullMB / r.ShippedMB
+		}
+		pt.PerRound = append(pt.PerRound, r)
+		pt.ShippedChunks += r.Chunks
+		pt.DedupedChunks += r.Deduped
+	}
+
+	wrRNG := sim.NewRNG(p.Seed + 11)
+	fab.Run(func(ctx *cluster.Ctx) {
+		base, err := up.CreateSynthetic(ctx, "image", p.ImageSize)
+		if err != nil {
+			panic(err)
+		}
+
+		var localID blobvfs.ImageID
+		ship := func(stage string, from, to blobvfs.Version) {
+			var buf bytes.Buffer
+			est, err := up.Export(ctx, &buf, base.Image, from, to)
+			if err != nil {
+				panic(err)
+			}
+			ist, err := down.Import(ctx, &buf)
+			if err != nil {
+				panic(err)
+			}
+			localID = ist.Image
+			record(stage, est, ist)
+		}
+		ship("full", 0, base.Version)
+
+		disk, err := up.OpenDisk(ctx, upNodes[0], base, blobvfs.Synthetic())
+		if err != nil {
+			panic(err)
+		}
+		cur := base.Version
+		for round := 1; round <= sc.Rounds; round++ {
+			if err := SnapshotWritesIn(ctx, disk, sc.DiffBytes, int64(p.ChunkSize), sc.HotBytes, wrRNG.Fork()); err != nil {
+				panic(err)
+			}
+			snap, err := disk.Commit(ctx)
+			if err != nil {
+				panic(err)
+			}
+			ship(fmt.Sprintf("delta %d", round), cur, snap.Version)
+			cur = snap.Version
+		}
+		if err := disk.Close(ctx); err != nil {
+			panic(err)
+		}
+
+		// End-to-end check: the downstream must be able to read the
+		// newest imported version across the whole image.
+		verify := ctx.Go("verify", downNodes[0], func(cc *cluster.Ctx) {
+			ddisk, err := down.OpenDisk(cc, downNodes[0], blobvfs.Snapshot{Image: localID, Version: cur}, blobvfs.Synthetic())
+			if err != nil {
+				panic(err)
+			}
+			if err := ddisk.Read(cc, 0, ddisk.Size()); err != nil {
+				panic(err)
+			}
+			if err := ddisk.Close(cc); err != nil {
+				panic(err)
+			}
+		})
+		ctx.WaitAll([]cluster.Task{verify})
+	})
+
+	pt.FullMB = pt.PerRound[0].ShippedMB
+	var deltaSum float64
+	for _, r := range pt.PerRound[1:] {
+		deltaSum += r.ShippedMB
+	}
+	if sc.Rounds > 0 {
+		pt.AvgDeltaMB = deltaSum / float64(sc.Rounds)
+	}
+	if pt.AvgDeltaMB > 0 {
+		pt.Reduction = pt.PerRound[0].FullMB / pt.AvgDeltaMB
+	}
+	return pt
+}
+
+// SyncTable renders a sync run as a per-round shipping trace.
+func SyncTable(pt SyncPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title: fmt.Sprintf(
+			"Differential sync: %.0f MB image, %d delta rounds, disjoint %d-provider pools",
+			pt.ImageMB, pt.Rounds, pt.Providers),
+		Columns: []string{
+			"stage", "versions", "chunks shipped", "chunks deduped",
+			"shipped (MB)", "full ship (MB)", "reduction",
+		},
+	}
+	for _, r := range pt.PerRound {
+		red := ""
+		if r.Stage != "full" && r.Reduction > 0 {
+			red = fmt.Sprintf("%.1fx", r.Reduction)
+		}
+		t.AddRow(
+			r.Stage,
+			itoa(r.Versions),
+			itoa(r.Chunks),
+			itoa(r.Deduped),
+			ftoa(r.ShippedMB),
+			ftoa(r.FullMB),
+			red,
+		)
+	}
+	if pt.Reduction > 0 {
+		t.AddRow("avg delta", "", itoa(pt.ShippedChunks), itoa(pt.DedupedChunks),
+			ftoa(pt.AvgDeltaMB), ftoa(pt.FullMB), fmt.Sprintf("%.1fx", pt.Reduction))
+	}
+	return t
+}

@@ -1,0 +1,539 @@
+package sync
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+
+	"blobvfs/internal/blob"
+)
+
+// The archive wire format, little-endian throughout:
+//
+//	magic          8 bytes "BVFSYNC1"
+//	header         formatVersion u32, sourceUUID u64, image i32,
+//	               from i32, to i32, seq u64, chunkSize i32,
+//	               imageSize i64, span i64, headerSum u64
+//	section ×3     kind u32, length u64, body, bodySum u64
+//	               (kinds in strict order: versions, nodes, chunks)
+//	trailer        archiveSum u64
+//
+// Every checksum is FNV-64a: headerSum covers magic through span,
+// each bodySum covers its section body, and archiveSum covers every
+// byte before the trailer — so a flipped bit anywhere in the stream
+// is caught before any record is acted on. Section bodies are
+// length-prefixed and the decoder bounds every count against its
+// section length, so a corrupted or adversarial archive fails with
+// ErrArchiveCorrupt instead of an over-allocation or a panic (see
+// FuzzImportArchive).
+
+const (
+	formatVersion = 1
+
+	sectionVersions = 1
+	sectionNodes    = 2
+	sectionChunks   = 3
+
+	// maxSectionLen bounds a section body; anything larger is treated
+	// as corruption before allocation, not after.
+	maxSectionLen = 1 << 30
+
+	// nodeWire mirrors the blob package's modeled on-wire size of a
+	// metadata node; stats use it to price shipped tree nodes.
+	nodeWire = 64
+)
+
+var magic = [8]byte{'B', 'V', 'F', 'S', 'Y', 'N', 'C', '1'}
+
+// Header is the archive's self-description: which source repository,
+// which image, which version range the archive carries, and where it
+// sits in the source's export sequence for that image.
+type Header struct {
+	SourceUUID uint64
+	Image      blob.ID
+	From, To   blob.Version
+	Seq        uint64
+	ChunkSize  int32
+	ImageSize  int64
+	Span       int64
+}
+
+// VersionRecord is one version of the range (From, To]. A retired
+// record is a placeholder: the version was retired on the source
+// before the export, its tree was not shipped, and the importer
+// re-publishes and immediately retires it so version numbers stay
+// aligned between the repositories.
+type VersionRecord struct {
+	Version blob.Version
+	Retired bool
+	Root    blob.NodeRef // source-side ref; 0 for retired placeholders
+}
+
+// NodeRecord is one shipped segment-tree node, under its source-side
+// ref; child refs that name nodes outside the archive resolve against
+// the importer's base tree.
+type NodeRecord struct {
+	Ref  blob.NodeRef
+	Node blob.TreeNode
+}
+
+// ChunkRecord is one shipped chunk under its source-side key. Real
+// payloads carry their bytes and an FNV-64a digest of them; synthetic
+// payloads carry only the (size, tag) descriptor, digested the same
+// way the provider set fingerprints them.
+type ChunkRecord struct {
+	Key     blob.ChunkKey
+	Payload blob.Payload
+	Digest  uint64
+}
+
+// Archive is a fully decoded (and checksum-verified) delta archive.
+type Archive struct {
+	Header   Header
+	Versions []VersionRecord
+	Nodes    []NodeRecord
+	Chunks   []ChunkRecord
+	Size     int64 // serialized length in bytes
+}
+
+// payloadDigest fingerprints a chunk payload for the per-chunk
+// integrity check: FNV-64a over the bytes for real payloads, over the
+// (tag, size) descriptor for synthetic ones.
+func payloadDigest(p blob.Payload) uint64 {
+	h := fnv.New64a()
+	if p.Real() {
+		h.Write(p.Data)
+		return h.Sum64()
+	}
+	var buf [12]byte
+	binary.LittleEndian.PutUint64(buf[0:], p.Tag)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(p.Size))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// archiveWriter serializes an archive incrementally — header first,
+// then one section at a time — keeping the running whole-archive
+// checksum. Export uses it so the stream starts before the chunk
+// payloads are even fetched.
+type archiveWriter struct {
+	w   io.Writer
+	sum hash.Hash64
+	n   int64
+	err error
+}
+
+func newArchiveWriter(w io.Writer) *archiveWriter {
+	return &archiveWriter{w: w, sum: fnv.New64a()}
+}
+
+// write sends raw bytes to the underlying writer and the running
+// checksum; errors stick.
+func (aw *archiveWriter) write(b []byte) {
+	if aw.err != nil {
+		return
+	}
+	aw.sum.Write(b)
+	n, err := aw.w.Write(b)
+	aw.n += int64(n)
+	aw.err = err
+}
+
+func (aw *archiveWriter) writeHeader(h Header) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	putU32(&buf, formatVersion)
+	putU64(&buf, h.SourceUUID)
+	putU32(&buf, uint32(h.Image))
+	putU32(&buf, uint32(h.From))
+	putU32(&buf, uint32(h.To))
+	putU64(&buf, h.Seq)
+	putU32(&buf, uint32(h.ChunkSize))
+	putU64(&buf, uint64(h.ImageSize))
+	putU64(&buf, uint64(h.Span))
+	hs := fnv.New64a()
+	hs.Write(buf.Bytes())
+	putU64(&buf, hs.Sum64())
+	aw.write(buf.Bytes())
+}
+
+func (aw *archiveWriter) writeSection(kind uint32, body []byte) {
+	var hdr bytes.Buffer
+	putU32(&hdr, kind)
+	putU64(&hdr, uint64(len(body)))
+	aw.write(hdr.Bytes())
+	aw.write(body)
+	bs := fnv.New64a()
+	bs.Write(body)
+	var tail bytes.Buffer
+	putU64(&tail, bs.Sum64())
+	aw.write(tail.Bytes())
+}
+
+// finish writes the whole-archive checksum trailer and returns the
+// total byte count.
+func (aw *archiveWriter) finish() (int64, error) {
+	if aw.err != nil {
+		return aw.n, aw.err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], aw.sum.Sum64())
+	n, err := aw.w.Write(tail[:])
+	aw.n += int64(n)
+	aw.err = err
+	return aw.n, aw.err
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func encodeVersions(recs []VersionRecord) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(len(recs)))
+	for _, r := range recs {
+		putU32(&b, uint32(r.Version))
+		flags := byte(0)
+		if r.Retired {
+			flags = 1
+		}
+		b.WriteByte(flags)
+		putU64(&b, uint64(r.Root))
+	}
+	return b.Bytes()
+}
+
+func encodeNodes(recs []NodeRecord) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(len(recs)))
+	for _, r := range recs {
+		putU64(&b, uint64(r.Ref))
+		putU64(&b, uint64(r.Node.Lo))
+		putU64(&b, uint64(r.Node.Hi))
+		putU64(&b, uint64(r.Node.Left))
+		putU64(&b, uint64(r.Node.Right))
+		putU64(&b, uint64(r.Node.Chunk))
+	}
+	return b.Bytes()
+}
+
+func encodeChunks(recs []ChunkRecord) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(len(recs)))
+	for _, r := range recs {
+		putU64(&b, uint64(r.Key))
+		putU32(&b, uint32(r.Payload.Size))
+		putU64(&b, r.Payload.Tag)
+		flags := byte(0)
+		if r.Payload.Real() {
+			flags = 1
+		}
+		b.WriteByte(flags)
+		putU64(&b, r.Digest)
+		if r.Payload.Real() {
+			b.Write(r.Payload.Data)
+		}
+	}
+	return b.Bytes()
+}
+
+// corrupt builds an ErrArchiveCorrupt with positional context.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("sync: "+format+": %w", append(args, ErrArchiveCorrupt)...)
+}
+
+// reader is a bounds-checked cursor over the archive bytes; every
+// primitive read fails with ErrArchiveCorrupt on truncation.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.buf)-r.off < n {
+		return nil, corrupt("truncated at offset %d (need %d bytes, have %d)", r.off, n, len(r.buf)-r.off)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// DecodeArchive reads and structurally validates a complete archive:
+// magic, format version, all four checksums, section order, record
+// counts against section lengths, and per-chunk payload digests. It
+// does not touch any repository state — every failure is reported
+// before an import acts on a single record.
+func DecodeArchive(src io.Reader) (*Archive, error) {
+	raw, err := io.ReadAll(src)
+	if err != nil {
+		return nil, corrupt("reading archive: %v", err)
+	}
+	if len(raw) < len(magic) {
+		return nil, corrupt("truncated magic (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:len(magic)], magic[:]) {
+		return nil, corrupt("bad magic %q", raw[:len(magic)])
+	}
+	r := &reader{buf: raw, off: len(magic)}
+
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, corrupt("unsupported format version %d", ver)
+	}
+	var a Archive
+	h := &a.Header
+	uuid, _ := r.u64()
+	image, _ := r.u32()
+	from, _ := r.u32()
+	to, _ := r.u32()
+	seq, _ := r.u64()
+	chunkSize, _ := r.u32()
+	imageSize, _ := r.u64()
+	span, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	h.SourceUUID = uuid
+	h.Image = blob.ID(image)
+	h.From = blob.Version(from)
+	h.To = blob.Version(to)
+	h.Seq = seq
+	h.ChunkSize = int32(chunkSize)
+	h.ImageSize = int64(imageSize)
+	h.Span = int64(span)
+	hs := fnv.New64a()
+	hs.Write(raw[:r.off])
+	want, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if want != hs.Sum64() {
+		return nil, corrupt("header checksum mismatch")
+	}
+
+	for _, kind := range []uint32{sectionVersions, sectionNodes, sectionChunks} {
+		body, err := r.section(kind)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case sectionVersions:
+			a.Versions, err = decodeVersions(body)
+		case sectionNodes:
+			a.Nodes, err = decodeNodes(body)
+		case sectionChunks:
+			a.Chunks, err = decodeChunks(body)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	as := fnv.New64a()
+	as.Write(raw[:r.off])
+	want, err = r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if want != as.Sum64() {
+		return nil, corrupt("archive checksum mismatch")
+	}
+	if r.off != len(raw) {
+		return nil, corrupt("%d trailing bytes after trailer", len(raw)-r.off)
+	}
+	a.Size = int64(len(raw))
+	return &a, nil
+}
+
+// section reads one section envelope, verifies its kind and body
+// checksum, and returns the body.
+func (r *reader) section(wantKind uint32) ([]byte, error) {
+	kind, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if kind != wantKind {
+		return nil, corrupt("section kind %d, expected %d", kind, wantKind)
+	}
+	n, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSectionLen {
+		return nil, corrupt("section %d length %d exceeds limit", kind, n)
+	}
+	body, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	bs := fnv.New64a()
+	bs.Write(body)
+	want, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if want != bs.Sum64() {
+		return nil, corrupt("section %d checksum mismatch", kind)
+	}
+	return body, nil
+}
+
+func decodeVersions(body []byte) ([]VersionRecord, error) {
+	r := &reader{buf: body}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	const recSize = 4 + 1 + 8
+	if uint64(count)*recSize != uint64(len(body)-r.off) {
+		return nil, corrupt("version count %d disagrees with section length %d", count, len(body))
+	}
+	recs := make([]VersionRecord, count)
+	for i := range recs {
+		v, _ := r.u32()
+		flags, _ := r.u8()
+		root, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if flags > 1 {
+			return nil, corrupt("version record %d: unknown flags %#x", i, flags)
+		}
+		recs[i] = VersionRecord{Version: blob.Version(v), Retired: flags == 1, Root: blob.NodeRef(root)}
+		if recs[i].Retired && recs[i].Root != 0 {
+			return nil, corrupt("retired version %d carries a root", recs[i].Version)
+		}
+	}
+	return recs, nil
+}
+
+func decodeNodes(body []byte) ([]NodeRecord, error) {
+	r := &reader{buf: body}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	const recSize = 6 * 8
+	if uint64(count)*recSize != uint64(len(body)-r.off) {
+		return nil, corrupt("node count %d disagrees with section length %d", count, len(body))
+	}
+	recs := make([]NodeRecord, count)
+	for i := range recs {
+		ref, _ := r.u64()
+		lo, _ := r.u64()
+		hi, _ := r.u64()
+		left, _ := r.u64()
+		right, _ := r.u64()
+		chunk, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		n := blob.TreeNode{
+			Lo: int64(lo), Hi: int64(hi),
+			Left: blob.NodeRef(left), Right: blob.NodeRef(right),
+			Chunk: blob.ChunkKey(chunk),
+		}
+		if ref == 0 || n.Lo < 0 || n.Hi <= n.Lo {
+			return nil, corrupt("node record %d: invalid ref %d or range [%d,%d)", i, ref, n.Lo, n.Hi)
+		}
+		if n.Leaf() && (n.Left != 0 || n.Right != 0) {
+			return nil, corrupt("node record %d: leaf with children", i)
+		}
+		if !n.Leaf() && n.Chunk != 0 {
+			return nil, corrupt("node record %d: inner node with chunk", i)
+		}
+		recs[i] = NodeRecord{Ref: blob.NodeRef(ref), Node: n}
+	}
+	return recs, nil
+}
+
+func decodeChunks(body []byte) ([]ChunkRecord, error) {
+	r := &reader{buf: body}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Chunk records are variable-length (real payloads inline their
+	// bytes), so the count is sanity-bounded by the minimum record
+	// size and the exact fit is checked after the last record.
+	const minRec = 8 + 4 + 8 + 1 + 8
+	if uint64(count)*minRec > uint64(len(body)-r.off) {
+		return nil, corrupt("chunk count %d disagrees with section length %d", count, len(body))
+	}
+	recs := make([]ChunkRecord, count)
+	for i := range recs {
+		key, _ := r.u64()
+		size, _ := r.u32()
+		tag, _ := r.u64()
+		flags, _ := r.u8()
+		digest, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if flags > 1 {
+			return nil, corrupt("chunk record %d: unknown flags %#x", i, flags)
+		}
+		if key == 0 || int32(size) < 0 {
+			return nil, corrupt("chunk record %d: invalid key %d or size %d", i, key, int32(size))
+		}
+		p := blob.Payload{Size: int32(size), Tag: tag}
+		if flags == 1 {
+			data, err := r.take(int(int32(size)))
+			if err != nil {
+				return nil, err
+			}
+			p.Data = data
+			if p.Size == 0 {
+				// Real() is Data != nil; a zero-length real payload
+				// must keep a non-nil slice through the round trip.
+				p.Data = []byte{}
+			}
+		}
+		if payloadDigest(p) != digest {
+			return nil, corrupt("chunk record %d (key %d): payload digest mismatch", i, key)
+		}
+		recs[i] = ChunkRecord{Key: blob.ChunkKey(key), Payload: p, Digest: digest}
+	}
+	if r.off != len(body) {
+		return nil, corrupt("%d trailing bytes in chunk section", len(body)-r.off)
+	}
+	return recs, nil
+}

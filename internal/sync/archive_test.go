@@ -1,0 +1,160 @@
+package sync
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"blobvfs/internal/blob"
+)
+
+// encodeArchive serializes an archive the way Export does, for codec
+// tests that need the bytes without a fabric.
+func encodeArchive(a *Archive) []byte {
+	var buf bytes.Buffer
+	aw := newArchiveWriter(&buf)
+	aw.writeHeader(a.Header)
+	aw.writeSection(sectionVersions, encodeVersions(a.Versions))
+	aw.writeSection(sectionNodes, encodeNodes(a.Nodes))
+	aw.writeSection(sectionChunks, encodeChunks(a.Chunks))
+	if _, err := aw.finish(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func sampleArchive() *Archive {
+	data := []byte("delta payload bytes")
+	real := blob.RealPayload(data)
+	synth := blob.SyntheticPayload(4096, 77)
+	return &Archive{
+		Header: Header{
+			SourceUUID: 0xA11CE,
+			Image:      3,
+			From:       2,
+			To:         4,
+			Seq:        7,
+			ChunkSize:  4096,
+			ImageSize:  8192,
+			Span:       2,
+		},
+		Versions: []VersionRecord{
+			{Version: 3, Retired: true},
+			{Version: 4, Root: 101},
+		},
+		Nodes: []NodeRecord{
+			{Ref: 101, Node: blob.TreeNode{Lo: 0, Hi: 2, Left: 102, Right: 55}},
+			{Ref: 102, Node: blob.TreeNode{Lo: 0, Hi: 1, Chunk: 201}},
+		},
+		Chunks: []ChunkRecord{
+			{Key: 201, Payload: real, Digest: payloadDigest(real)},
+			{Key: 202, Payload: synth, Digest: payloadDigest(synth)},
+		},
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	a := sampleArchive()
+	raw := encodeArchive(a)
+	got, err := DecodeArchive(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != int64(len(raw)) {
+		t.Fatalf("Size = %d, want %d", got.Size, len(raw))
+	}
+	got.Size = 0
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, a)
+	}
+}
+
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	raw := encodeArchive(sampleArchive())
+	for n := 0; n < len(raw); n++ {
+		if _, err := DecodeArchive(bytes.NewReader(raw[:n])); !errors.Is(err, ErrArchiveCorrupt) {
+			t.Fatalf("truncation at %d of %d: err = %v, want ErrArchiveCorrupt", n, len(raw), err)
+		}
+	}
+}
+
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	raw := encodeArchive(sampleArchive())
+	for off := 0; off < len(raw); off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		if _, err := DecodeArchive(bytes.NewReader(mut)); !errors.Is(err, ErrArchiveCorrupt) {
+			t.Fatalf("bit flip at offset %d: err = %v, want ErrArchiveCorrupt", off, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	raw := encodeArchive(sampleArchive())
+	raw = append(raw, 0xEE)
+	if _, err := DecodeArchive(bytes.NewReader(raw)); !errors.Is(err, ErrArchiveCorrupt) {
+		t.Fatalf("err = %v, want ErrArchiveCorrupt", err)
+	}
+}
+
+func TestPayloadDigestDistinguishes(t *testing.T) {
+	a := payloadDigest(blob.RealPayload([]byte("aaaa")))
+	b := payloadDigest(blob.RealPayload([]byte("aaab")))
+	if a == b {
+		t.Fatal("distinct real payloads share a digest")
+	}
+	s1 := payloadDigest(blob.SyntheticPayload(4096, 1))
+	s2 := payloadDigest(blob.SyntheticPayload(4096, 2))
+	if s1 == s2 {
+		t.Fatal("distinct synthetic payloads share a digest")
+	}
+}
+
+func TestTrackerSequenceRules(t *testing.T) {
+	up := NewTracker(0xA)
+	down := NewTracker(0xB)
+	h := func(image blob.ID, from, to blob.Version, seq uint64) Header {
+		return Header{SourceUUID: up.uuid, Image: image, From: from, To: to, Seq: seq}
+	}
+
+	// Self-import is refused.
+	if _, err := up.admit(h(1, 0, 1, 1)); !errors.Is(err, ErrSourceMismatch) {
+		t.Fatalf("self-import: %v", err)
+	}
+	// A delta for an unknown image has no base.
+	if _, err := down.admit(h(1, 1, 2, 2)); !errors.Is(err, ErrBaseMissing) {
+		t.Fatalf("delta without base: %v", err)
+	}
+	// Full archive admits and latches the source.
+	if _, err := down.admit(h(1, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	down.commitImport(h(1, 0, 1, 1), 11)
+	if _, err := down.admit(Header{SourceUUID: 0xC, Image: 9, From: 0, To: 1, Seq: 1}); !errors.Is(err, ErrSourceMismatch) {
+		t.Fatalf("foreign source: %v", err)
+	}
+	// Replaying the full archive is a sequence violation.
+	if _, err := down.admit(h(1, 0, 1, 1)); !errors.Is(err, ErrSequenceGap) {
+		t.Fatalf("full replay: %v", err)
+	}
+	// Skipping seq 2 is a gap; the exact successor admits.
+	if _, err := down.admit(h(1, 2, 3, 3)); !errors.Is(err, ErrSequenceGap) {
+		t.Fatalf("seq skip: %v", err)
+	}
+	local, err := down.admit(h(1, 1, 2, 2))
+	if err != nil || local != 11 {
+		t.Fatalf("successor: local=%d err=%v", local, err)
+	}
+	// Base/seq must both line up: right seq, wrong base.
+	if _, err := down.admit(h(1, 2, 3, 2)); !errors.Is(err, ErrSequenceGap) {
+		t.Fatalf("base mismatch: %v", err)
+	}
+
+	if _, ok := down.Local(1); !ok {
+		t.Fatal("Local lost the cursor")
+	}
+	if _, ok := down.Local(42); ok {
+		t.Fatal("Local invented a cursor")
+	}
+}

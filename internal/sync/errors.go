@@ -1,0 +1,35 @@
+package sync
+
+import "errors"
+
+// The sync error taxonomy, following the blob package's conventions:
+// every failure path wraps one of these sentinels with %w, and the
+// public façade re-exports them, so callers branch with errors.Is
+// instead of matching message text.
+var (
+	// ErrArchiveCorrupt reports an archive that fails structural
+	// validation: truncated or oversized sections, a bad magic or
+	// format version, a checksum mismatch, counts that disagree with
+	// section lengths, or tree records that violate the segment-tree
+	// range invariants.
+	ErrArchiveCorrupt = errors.New("archive corrupt")
+
+	// ErrSequenceGap reports an archive that is not the exact
+	// successor of the last one applied: a delta whose sequence
+	// number or base version skips ahead (an intermediate archive was
+	// never imported), a replay of an already-imported archive, or a
+	// full archive for an image the importer already tracks.
+	ErrSequenceGap = errors.New("archive out of sequence")
+
+	// ErrBaseMissing reports a delta whose base version cannot anchor
+	// the import: the importing side never imported the image at all,
+	// or retired the base version and (possibly) reclaimed its
+	// storage.
+	ErrBaseMissing = errors.New("archive base version missing")
+
+	// ErrSourceMismatch reports an archive from a different source
+	// repository than the one this importer is synchronized with —
+	// version numbers and sequence counters are only comparable
+	// within one source's history.
+	ErrSourceMismatch = errors.New("archive from different source repository")
+)

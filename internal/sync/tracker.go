@@ -1,0 +1,130 @@
+package sync
+
+import (
+	"fmt"
+	gosync "sync"
+
+	"blobvfs/internal/blob"
+)
+
+// Tracker is a repository's disconnected-sync state, the analogue of
+// oc-mirror's workspace metadata: on the export side a per-image
+// monotone sequence counter stamped into every archive, on the import
+// side the identity of the single source repository this one syncs
+// from plus, per source image, a cursor recording the last archive
+// applied. The cursor is what turns the sequence rules into typed
+// errors before anything is written: a full archive is accepted only
+// for an image the tracker has never seen, and a delta only when both
+// its sequence number and its base version are the exact successors
+// of the cursor.
+type Tracker struct {
+	uuid uint64
+
+	mu        gosync.Mutex
+	exportSeq map[blob.ID]uint64 // last sequence number exported, per image
+	source    uint64             // source repo UUID, 0 until the first import
+	cursors   map[blob.ID]*cursor
+
+	// exportMu serializes exports (sequence numbers are assigned at
+	// the head of the stream but burned only on success); importMu
+	// serializes imports (an import is one atomic cursor transition).
+	exportMu gosync.Mutex
+	importMu gosync.Mutex
+}
+
+// cursor records where one source image's import chain stands.
+type cursor struct {
+	local blob.ID      // the image's ID in this repository
+	seq   uint64       // sequence number of the last archive applied
+	to    blob.Version // newest version that archive carried
+}
+
+// NewTracker creates the sync state for a repository identified (to
+// its sync peers) by uuid.
+func NewTracker(uuid uint64) *Tracker {
+	return &Tracker{
+		uuid:      uuid,
+		exportSeq: make(map[blob.ID]uint64),
+		cursors:   make(map[blob.ID]*cursor),
+	}
+}
+
+// UUID returns the repository identity stamped into exported archives.
+func (t *Tracker) UUID() uint64 { return t.uuid }
+
+// nextExportSeq peeks the sequence number the next archive of an
+// image will carry, without committing it — a failed export must not
+// burn a number, or the importer would see a gap that never shipped.
+func (t *Tracker) nextExportSeq(id blob.ID) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exportSeq[id] + 1
+}
+
+// commitExportSeq records a successfully streamed archive's sequence
+// number.
+func (t *Tracker) commitExportSeq(id blob.ID, seq uint64) {
+	t.mu.Lock()
+	t.exportSeq[id] = seq
+	t.mu.Unlock()
+}
+
+// admit validates an archive header against the tracker's import
+// state and returns the local image the archive applies to (0 when
+// the archive is a full one and the image does not exist here yet).
+// It only reads; the cursor moves in commitImport after the archive
+// has been fully applied.
+func (t *Tracker) admit(h Header) (blob.ID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h.SourceUUID == t.uuid {
+		return 0, fmt.Errorf("sync: archive %#x was exported by this repository: %w", h.SourceUUID, ErrSourceMismatch)
+	}
+	if t.source != 0 && t.source != h.SourceUUID {
+		return 0, fmt.Errorf("sync: archive from source %#x, repository syncs from %#x: %w",
+			h.SourceUUID, t.source, ErrSourceMismatch)
+	}
+	cur, ok := t.cursors[h.Image]
+	if h.From == 0 {
+		if ok {
+			return 0, fmt.Errorf("sync: full archive for image %d already imported through seq %d: %w",
+				h.Image, cur.seq, ErrSequenceGap)
+		}
+		return 0, nil
+	}
+	if !ok {
+		return 0, fmt.Errorf("sync: delta (%d,%d] for image %d never imported here: %w",
+			h.From, h.To, h.Image, ErrBaseMissing)
+	}
+	if h.Seq != cur.seq+1 {
+		return 0, fmt.Errorf("sync: archive seq %d for image %d, expected %d: %w",
+			h.Seq, h.Image, cur.seq+1, ErrSequenceGap)
+	}
+	if h.From != cur.to {
+		return 0, fmt.Errorf("sync: delta base %d for image %d, last import reached %d: %w",
+			h.From, h.Image, cur.to, ErrSequenceGap)
+	}
+	return cur.local, nil
+}
+
+// commitImport advances the import state after an archive has been
+// fully applied: the first import latches the source identity, and
+// the image's cursor moves to the archive just replayed.
+func (t *Tracker) commitImport(h Header, local blob.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.source = h.SourceUUID
+	t.cursors[h.Image] = &cursor{local: local, seq: h.Seq, to: h.To}
+}
+
+// Local resolves a source image ID to the local image it was imported
+// as (false if the image was never imported).
+func (t *Tracker) Local(source blob.ID) (blob.ID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.cursors[source]
+	if !ok {
+		return 0, false
+	}
+	return cur.local, true
+}

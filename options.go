@@ -24,6 +24,7 @@ type config struct {
 	batched      bool
 	faults       []FaultEvent
 	topo         Topology
+	syncUUID     uint64 // 0 auto-assigns a process-unique identity
 }
 
 // Option configures a Repo at Open.
@@ -149,6 +150,18 @@ func WithBatchedCommit() Option {
 // reproduces the flat behavior byte-identically.
 func WithTopology(t Topology) Option {
 	return func(c *config) { c.topo = t }
+}
+
+// WithSyncUUID sets the identity this repository presents to its
+// disconnected-sync peers: Export stamps it into every archive
+// header, and Import accepts archives from exactly one source UUID
+// (the first one seen; others fail with ErrSourceMismatch), the
+// strict-source rule of the oc-mirror workflow the subsystem models.
+// Default: a process-unique identity assigned at Open. Set it
+// explicitly when repositories on different fabrics (or in different
+// processes) must recognize each other across export/import runs.
+func WithSyncUUID(uuid uint64) Option {
+	return func(c *config) { c.syncUUID = uuid }
 }
 
 // WithFaultPlan configures a fault-injection plan: each event kills or

@@ -9,6 +9,7 @@ import (
 	"blobvfs/internal/cluster"
 	"blobvfs/internal/mirror"
 	"blobvfs/internal/p2p"
+	reposync "blobvfs/internal/sync"
 )
 
 // Snapshot names one immutable image: a lineage and a version within
@@ -28,7 +29,8 @@ type Repo struct {
 	fab     Fabric
 	cfg     config
 	sys     *blob.System
-	sharing *p2p.Registry // nil without WithP2P
+	sharing *p2p.Registry     // nil without WithP2P
+	syncer  *reposync.Tracker // disconnected-sync identity + sequence state
 	// liveness is the repo's node up/down registry: the provider set
 	// (failover + re-replication), the metadata service and version
 	// manager (with WithMetaReplicas), and the sharing tracker
@@ -76,10 +78,15 @@ func Open(fab Fabric, opts ...Option) (*Repo, error) {
 	if err := cfg.validate(fab.Nodes()); err != nil {
 		return nil, err
 	}
+	syncUUID := cfg.syncUUID
+	if syncUUID == 0 {
+		syncUUID = nextSyncUUID.Add(1)
+	}
 	r := &Repo{
 		fab:     fab,
 		cfg:     cfg,
 		sys:     blob.NewSystem(cfg.providers, cfg.manager, cfg.replicas),
+		syncer:  reposync.NewTracker(syncUUID),
 		modules: make(map[NodeID]*mirror.Module),
 		names:   make(map[string]Snapshot),
 	}
@@ -128,6 +135,11 @@ func Open(fab Fabric, opts ...Option) (*Repo, error) {
 	}
 	return r, nil
 }
+
+// nextSyncUUID auto-assigns sync identities to repos opened without
+// WithSyncUUID: unique within the process, which is all the identity
+// is compared against.
+var nextSyncUUID atomic.Uint64
 
 // defaultP2PConfig returns the sharing protocol defaults (see WithP2P).
 func defaultP2PConfig() P2PConfig { return p2p.DefaultConfig() }

@@ -13,20 +13,25 @@
 # reduction factor and ns/op — and the metadata-outage family into
 # BENCH_metaoutage.json — flash-crowd completion healthy vs with half
 # the metadata providers and a compute rack down, with the failover,
-# re-replication and failed-descent counts.
+# re-replication and failed-descent counts — and the differential-sync
+# family into BENCH_export.json — average delta vs full-image bytes
+# shipped per sync round, with the reduction factor (gated at 5x) and
+# the shipped/deduplicated chunk counts.
 #
-# Usage: scripts/bench.sh [output-file] [json-file] [multisnap-json-file] [metaoutage-json-file]
+# Usage: scripts/bench.sh [output-file] [json-file] [multisnap-json-file] [metaoutage-json-file] [export-json-file]
 set -eu
 
 out="${1:-bench.txt}"
 json="${2:-BENCH_flashcrowd.json}"
 msjson="${3:-BENCH_multisnapshot.json}"
 mojson="${4:-BENCH_metaoutage.json}"
+exjson="${5:-BENCH_export.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkFlashCrowdCrossZone|BenchmarkFlashCrowdMetaOutage|BenchmarkMultisnapshot1024|BenchmarkChurn|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
+  -bench 'BenchmarkFig4PaperScale|BenchmarkFlashCrowd256|BenchmarkFlashCrowdDegraded|BenchmarkFlashCrowdCrossZone|BenchmarkFlashCrowdMetaOutage|BenchmarkMultisnapshot1024|BenchmarkChurn|BenchmarkExportImport|BenchmarkCommitDataStructures|BenchmarkMetadataHotPath|BenchmarkMetadataColdDescent' \
   -benchmem -count=1 -cpu 1,8 -timeout 30m . | tee "$out"
 
 go run ./cmd/benchjson -in "$out" -family flashcrowd -out "$json"
 go run ./cmd/benchjson -in "$out" -family multisnapshot -out "$msjson"
 go run ./cmd/benchjson -in "$out" -family metaoutage -out "$mojson"
+go run ./cmd/benchjson -in "$out" -family export -out "$exjson"

@@ -1,0 +1,133 @@
+package blobvfs_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"blobvfs"
+	"blobvfs/internal/blob"
+)
+
+const (
+	fuzzChunk = 1 << 10
+	fuzzSize  = 4 << 10 // 4 chunks
+)
+
+// buildSyncSeeds produces one valid full archive (0,1] and one valid
+// delta (1,2] from a tiny two-version lineage, for the fuzz corpus.
+func buildSyncSeeds(f *testing.F) (full, delta []byte) {
+	fab := blobvfs.NewLiveCluster(2)
+	up, err := blobvfs.Open(fab,
+		blobvfs.WithChunkSize(fuzzChunk),
+		blobvfs.WithDedup(),
+		blobvfs.WithSyncUUID(0xA))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var fullBuf, deltaBuf bytes.Buffer
+	fab.Run(func(ctx *blobvfs.Ctx) {
+		ref, err := up.Create(ctx, "", img(fuzzSize, 3))
+		if err != nil {
+			f.Fatal(err)
+		}
+		disk, err := up.OpenDisk(ctx, ctx.Node(), ref)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := disk.WriteAt(ctx, img(fuzzChunk, 4), 2*fuzzChunk); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := disk.Commit(ctx); err != nil {
+			f.Fatal(err)
+		}
+		if err := disk.Close(ctx); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := up.Export(ctx, &fullBuf, ref.Image, 0, 1); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := up.Export(ctx, &deltaBuf, ref.Image, 1, 2); err != nil {
+			f.Fatal(err)
+		}
+	})
+	return fullBuf.Bytes(), deltaBuf.Bytes()
+}
+
+// repoState captures everything an import may mutate: stored chunks
+// and their refcounts, metadata nodes, pending allocations, and the
+// live version set.
+type repoState struct {
+	Chunks      int
+	StoredBytes int64
+	Nodes       int
+	PendingKeys int
+	PendingRefs int
+	Refs        map[blob.ChunkKey]int64
+	Versions    []blobvfs.Version
+}
+
+func captureState(t *testing.T, ctx *blobvfs.Ctx, r *blobvfs.Repo, id blobvfs.ImageID) repoState {
+	t.Helper()
+	sys := r.System()
+	st := repoState{
+		Chunks:      sys.Providers.ChunkCount(),
+		StoredBytes: sys.Providers.StoredBytes(),
+		Nodes:       sys.Meta.NodeCount(),
+		Refs:        map[blob.ChunkKey]int64{},
+	}
+	_, pk := sys.Providers.PendingSnapshot()
+	_, pr := sys.Meta.PendingSnapshot()
+	st.PendingKeys = len(pk)
+	st.PendingRefs = len(pr)
+	for _, k := range sys.Providers.RetainedKeys(sys.Providers.KeyWatermark()) {
+		st.Refs[k] = sys.Providers.RefCount(k)
+	}
+	if id != 0 {
+		vs, err := r.Versions(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Versions = vs
+	}
+	return st
+}
+
+// FuzzImportArchive feeds arbitrary bytes to Repo.Import on a
+// downstream that has already imported one valid full archive. The
+// importer must never panic, and a rejected archive must leave the
+// repository byte-identical: same chunks, same refcounts, same tree
+// nodes, no leaked pending allocations, same version set.
+func FuzzImportArchive(f *testing.F) {
+	full, delta := buildSyncSeeds(f)
+	f.Add(full)
+	f.Add(delta)
+	f.Add(full[:8])
+	f.Add(full[:len(full)/2])
+	f.Add(append([]byte(nil), []byte("BVFSYNC1")...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fab := blobvfs.NewLiveCluster(2)
+		down, err := blobvfs.Open(fab,
+			blobvfs.WithChunkSize(fuzzChunk),
+			blobvfs.WithDedup(),
+			blobvfs.WithSyncUUID(0xB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab.Run(func(ctx *blobvfs.Ctx) {
+			ist, err := down.Import(ctx, bytes.NewReader(full))
+			if err != nil {
+				t.Fatalf("seed import: %v", err)
+			}
+			before := captureState(t, ctx, down, ist.Image)
+			if _, err := down.Import(ctx, bytes.NewReader(data)); err != nil {
+				after := captureState(t, ctx, down, ist.Image)
+				if !reflect.DeepEqual(before, after) {
+					t.Fatalf("failed import mutated the repository:\nbefore %+v\nafter  %+v", before, after)
+				}
+			}
+		})
+	})
+}
