@@ -12,6 +12,7 @@
 package blobvfs_test
 
 import (
+	"fmt"
 	"testing"
 
 	"blobvfs/internal/blob"
@@ -188,6 +189,55 @@ func BenchmarkFlashCrowd256(b *testing.B) {
 			b.ReportMetric(pt.TrafficGB*1e3, "traffic-MB")
 		})
 	}
+}
+
+// BenchmarkFlashCrowdScale sweeps the flash crowd across instance
+// counts toward the ROADMAP's paper-scale ×100 target. Together with
+// BenchmarkFlashCrowd10k it feeds the BENCH_scale.json trajectory:
+// instances vs wall-clock ns/op and allocs/op, the curve that shows
+// whether the simulator itself scales. Every point runs with p2p
+// sharing on — the churn-heavy path — and fails the benchmark if any
+// instance does not boot.
+func BenchmarkFlashCrowdScale(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		n := n
+		b.Run(fmt.Sprintf("inst-%d", n), func(b *testing.B) {
+			benchFlashCrowdScale(b, n)
+		})
+	}
+}
+
+// BenchmarkFlashCrowd10k is the paper-scale ×100 point: a 10k-instance
+// flash crowd against the same 8-provider pool. Skipped under -short
+// (CI runs the quick scale points; run the full sweep locally via
+// scripts/bench.sh).
+func BenchmarkFlashCrowd10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping 10k flash crowd in -short mode")
+	}
+	benchFlashCrowdScale(b, 10000)
+}
+
+func benchFlashCrowdScale(b *testing.B, instances int) {
+	p := experiments.Quick()
+	var pt experiments.FlashCrowdPoint
+	for i := 0; i < b.N; i++ {
+		pt = experiments.RunFlashCrowd(p, experiments.FlashCrowdConfig{
+			Instances: instances,
+			Providers: 8,
+			Sharing:   true,
+		})
+		if pt.Booted != instances {
+			b.Fatalf("only %d of %d instances booted", pt.Booted, instances)
+		}
+	}
+	b.ReportMetric(float64(instances), "instances")
+	b.ReportMetric(float64(pt.Booted), "booted")
+	b.ReportMetric(float64(pt.Steps), "sim-steps")
+	b.ReportMetric(pt.Completion, "completion-s")
+	b.ReportMetric(float64(pt.ProviderReads), "provider-reads")
+	b.ReportMetric(float64(pt.PeerReads), "peer-reads")
+	b.ReportMetric(pt.TrafficGB*1e3, "traffic-MB")
 }
 
 // BenchmarkFlashCrowdDegraded reruns the 256-instance flash crowd

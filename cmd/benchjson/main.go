@@ -19,8 +19,13 @@
 //     benchmark line, plus an export summary with the average delta
 //     and full-image byte counts, the reduction factor, and the
 //     shipped and import-side-deduplicated chunk counts.
+//   - family scale → BENCH_scale.json: the flash-crowd scale sweep
+//     (BenchmarkFlashCrowdScale plus BenchmarkFlashCrowd10k), with a
+//     scale summary charting instances vs wall-clock ns/op and
+//     allocs/op — the trajectory that shows whether the simulator
+//     itself keeps up with paper-scale ×100 crowds.
 //
-// Usage: benchjson [-in bench.txt] [-out BENCH_<family>.json] [-family flashcrowd|multisnapshot|metaoutage|export]
+// Usage: benchjson [-in bench.txt] [-out BENCH_<family>.json] [-family flashcrowd|multisnapshot|metaoutage|export|scale]
 package main
 
 import (
@@ -78,6 +83,23 @@ type exportSummary struct {
 	DedupedChunks float64 `json:"deduped_chunks"`
 }
 
+// scalePoint is one instance-count point of the flash-crowd scale
+// sweep; scaleSummary orders them by crowd size so the trajectory is
+// directly plottable.
+type scalePoint struct {
+	Instances   float64 `json:"instances"`
+	Booted      float64 `json:"booted"`
+	NsOp        float64 `json:"ns_op"`
+	AllocsOp    float64 `json:"allocs_op"`
+	BytesOp     float64 `json:"bytes_op"`
+	SimSteps    float64 `json:"sim_steps"`
+	CompletionS float64 `json:"completion_s"`
+}
+
+type scaleSummary struct {
+	Points []scalePoint `json:"points"`
+}
+
 // metaOutage is the headline summary of control-plane resilience:
 // flash-crowd completion with a healthy control plane vs one that lost
 // half its metadata providers plus a compute rack mid-run, the descents
@@ -98,16 +120,20 @@ func main() {
 	family := flag.String("family", "flashcrowd", "benchmark family to distill: flashcrowd or multisnapshot")
 	out := flag.String("out", "", "artifact to write (default BENCH_<family>.json)")
 	flag.Parse()
-	prefix := ""
+	var prefixes, excludes []string
 	switch *family {
 	case "flashcrowd":
-		prefix = "BenchmarkFlashCrowd"
+		prefixes = []string{"BenchmarkFlashCrowd"}
+		// The outage and scale sweeps are their own families.
+		excludes = []string{"BenchmarkFlashCrowdMetaOutage", "BenchmarkFlashCrowdScale", "BenchmarkFlashCrowd10k"}
 	case "multisnapshot":
-		prefix = "BenchmarkMultisnapshot"
+		prefixes = []string{"BenchmarkMultisnapshot"}
 	case "metaoutage":
-		prefix = "BenchmarkFlashCrowdMetaOutage"
+		prefixes = []string{"BenchmarkFlashCrowdMetaOutage"}
 	case "export":
-		prefix = "BenchmarkExportImport"
+		prefixes = []string{"BenchmarkExportImport"}
+	case "scale":
+		prefixes = []string{"BenchmarkFlashCrowdScale", "BenchmarkFlashCrowd10k"}
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown family %q\n", *family)
 		os.Exit(2)
@@ -128,7 +154,7 @@ func main() {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		name, bl, ok := parseLine(sc.Text())
-		if !ok || !strings.HasPrefix(name, prefix) {
+		if !ok || !matches(name, prefixes, excludes) {
 			continue
 		}
 		benches[name] = bl
@@ -148,6 +174,7 @@ func main() {
 		Multisnapshot *multisnapshot       `json:"multisnapshot,omitempty"`
 		MetaOutage    *metaOutage          `json:"meta_outage,omitempty"`
 		Export        *exportSummary       `json:"export,omitempty"`
+		Scale         *scaleSummary        `json:"scale,omitempty"`
 	}{Benchmarks: benches}
 
 	// Summary benchmark names are unsuffixed on the cpu=1 run (go test
@@ -189,6 +216,32 @@ func main() {
 			DedupedChunks: exp.Metrics["deduped-chunks"],
 		}
 	}
+	if *family == "scale" {
+		// cpu=1 rows carry unsuffixed names; collect them in crowd-size
+		// order. The 10k point is absent from -short (CI) runs, so the
+		// summary simply holds the points that ran.
+		sum := &scaleSummary{}
+		for _, name := range []string{
+			"BenchmarkFlashCrowdScale/inst-256",
+			"BenchmarkFlashCrowdScale/inst-1024",
+			"BenchmarkFlashCrowd10k",
+		} {
+			bl, ok := benches[name]
+			if !ok {
+				continue
+			}
+			sum.Points = append(sum.Points, scalePoint{
+				Instances:   bl.Metrics["instances"],
+				Booted:      bl.Metrics["booted"],
+				NsOp:        bl.Metrics["ns/op"],
+				AllocsOp:    bl.Metrics["allocs/op"],
+				BytesOp:     bl.Metrics["B/op"],
+				SimSteps:    bl.Metrics["sim-steps"],
+				CompletionS: bl.Metrics["completion-s"],
+			})
+		}
+		doc.Scale = sum
+	}
 	if *family == "metaoutage" {
 		healthy, okH := benches["BenchmarkFlashCrowdMetaOutage/healthy"]
 		hit, okO := benches["BenchmarkFlashCrowdMetaOutage/outage"]
@@ -215,6 +268,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(benches))
+}
+
+// matches reports whether name starts with any of the prefixes and
+// none of the excludes.
+func matches(name string, prefixes, excludes []string) bool {
+	for _, x := range excludes {
+		if strings.HasPrefix(name, x) {
+			return false
+		}
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // parseLine parses one `BenchmarkName   N   v1 unit1   v2 unit2 ...`

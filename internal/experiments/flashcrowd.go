@@ -50,6 +50,9 @@ type FlashCrowdPoint struct {
 	Completion float64 // deploy start → last instance booted (s)
 	TrafficGB  float64 // total network traffic (GB)
 
+	Booted int   // instances that completed their boot (must be all)
+	Steps  int64 // simulator events executed by the deployment
+
 	ProviderReads    int64 // chunk reads served by the provider pool
 	MaxProviderReads int64 // ... by its hottest member (the hot-spot)
 	PeerReads        int64 // chunk reads served by cohort peers
@@ -76,6 +79,7 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 
 	sp := newSmallPool(p, fc.Instances, fc.Providers, fc.Sharing, fc.P2P, fc.Topology)
 	gets0, nodes0 := sp.Sys.Meta.Gets.Load(), sp.Sys.Meta.NodesServed.Load()
+	steps0 := sp.Fab.Env().Steps()
 
 	var dep *middleware.DeployResult
 	sp.Fab.Run(func(ctx *cluster.Ctx) {
@@ -93,6 +97,12 @@ func RunFlashCrowd(p Params, fc FlashCrowdConfig) FlashCrowdPoint {
 		AvgBoot:    metrics.Summarize(dep.BootTimes()).Mean,
 		Completion: dep.Completion,
 		TrafficGB:  float64(sp.Fab.NetTraffic()) / 1e9,
+	}
+	pt.Steps = sp.Fab.Env().Steps() - steps0
+	for _, inst := range dep.Instances {
+		if inst != nil && inst.BootDoneAt > 0 {
+			pt.Booted++
+		}
 	}
 	pt.ProviderReads = sp.Sys.Providers.Reads.Load()
 	pt.MaxProviderReads = sp.Sys.Providers.MaxNodeReads()

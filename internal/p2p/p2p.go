@@ -502,6 +502,7 @@ func (co *Cohort) Locate(ctx *cluster.Ctx, key blob.ChunkKey) (cluster.NodeID, f
 func (co *Cohort) pickLocked(holders []cluster.NodeID, req cluster.NodeID) (best cluster.NodeID, any, found bool) {
 	maxUp := co.reg.cfg.MaxUploads
 	var bestTier cluster.Tier
+	var bestLoad int
 	for _, h := range holders {
 		if h == req || !co.reg.peerAlive(h) {
 			continue
@@ -512,8 +513,17 @@ func (co *Cohort) pickLocked(holders []cluster.NodeID, req cluster.NodeID) (best
 			continue
 		}
 		tier := co.reg.topo.Tier(req, h)
-		if !found || tier < bestTier || (tier == bestTier && load < co.uploads[best]) {
-			best, bestTier, found = h, tier, true
+		if !found || tier < bestTier || (tier == bestTier && load < bestLoad) {
+			best, bestTier, bestLoad, found = h, tier, load, true
+		}
+		if bestTier == cluster.TierRack && bestLoad == 0 {
+			// Unbeatable: TierRack is the nearest tier two distinct
+			// nodes can share and no load undercuts idle, while equal
+			// (tier, load) never displaces an earlier pick. Stopping
+			// here returns exactly the full scan's choice — which is
+			// what keeps a 10k-member cohort's popular chunks (held by
+			// nearly everyone) from costing O(members) per locate.
+			break
 		}
 	}
 	return best, any, found

@@ -5,10 +5,26 @@ import "container/heap"
 // Event is a scheduled callback in the simulation. Events are ordered by
 // (time, sequence number): ties in virtual time are broken by scheduling
 // order, which makes every run fully deterministic.
+//
+// Fired and canceled events are recycled onto the environment's free
+// list, so an Event handle is only valid until the event fires or is
+// canceled: calling Cancel (or Time/Canceled) on a handle after either
+// point may observe — or, worse, cancel — an unrelated recycled event.
+// The two in-tree retainers (PSPool and flownet timers) clear their
+// handle on fire and cancel-before-rearm, which satisfies this.
 type Event struct {
-	t        float64
-	seq      int64
-	fn       func()
+	t   float64
+	seq int64
+
+	// Exactly one of the three dispatch payloads is set: a plain
+	// callback, a single process to resume, or a batch of processes to
+	// resume in FIFO order (a Cond broadcast). The resume forms exist
+	// so the hot schedulers — Sleep, semaphore admission, condition
+	// signaling — need no per-call closure allocation.
+	fn    func()
+	proc  *Proc
+	batch []*Proc
+
 	canceled bool
 	index    int // heap index; -1 once popped or canceled
 }

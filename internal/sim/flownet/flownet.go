@@ -17,7 +17,7 @@ type Link struct {
 	// scratch state used during recompute
 	residual   float64
 	unassigned int
-	mark       int // generation marker for the link-collection pass
+	mark       int // generation marker for the dirty-link collection pass
 
 	// TotalBytes accumulates all bytes ever carried by this link.
 	TotalBytes float64
@@ -35,8 +35,15 @@ type Flow struct {
 	remaining float64
 	rate      float64
 	assigned  bool
+	mark      int // generation marker for the affected-component pass
 	done      sim.Cond
 	finished  bool
+
+	// fn, when set, is the completion callback of a StartFunc flow.
+	fn func()
+	// pooled flows (Transfer/StartFunc — their handles never escape)
+	// recycle onto the net's free list at completion.
+	pooled bool
 }
 
 // Rate returns the flow's current allocated rate in bytes/s.
@@ -57,6 +64,18 @@ type Net struct {
 	nextID int
 	gen    int
 
+	// completeFn is the timer callback, bound once: the method value
+	// n.complete allocates a closure on every rearm otherwise, and the
+	// net rearms on every flow arrival and departure.
+	completeFn func()
+
+	// Scratch storage reused across recomputes so the steady-state flow
+	// churn of a large simulation allocates nothing.
+	scratchLinks []*Link
+	scratchFlows []*Flow
+	finishedScr  []*Flow
+	freeFlows    []*Flow
+
 	// Completed counts finished flows; TotalBytes counts bytes accepted.
 	Completed  int64
 	TotalBytes float64
@@ -64,7 +83,9 @@ type Net struct {
 
 // New returns an empty flow network on env.
 func New(env *sim.Env) *Net {
-	return &Net{env: env}
+	n := &Net{env: env}
+	n.completeFn = n.complete
+	return n
 }
 
 // NewLink creates a link with the given capacity in bytes per second.
@@ -84,7 +105,7 @@ func (n *Net) Active() int { return len(n.flows) }
 // flow completes under max-min fair sharing with all concurrent flows.
 // A transfer with no links or zero bytes returns immediately.
 func (n *Net) Transfer(p *sim.Proc, bytes float64, links ...*Link) {
-	f := n.Start(bytes, links...)
+	f := n.start(bytes, true, nil, links)
 	if f == nil {
 		return
 	}
@@ -94,17 +115,52 @@ func (n *Net) Transfer(p *sim.Proc, bytes float64, links ...*Link) {
 // Start begins an asynchronous transfer and returns its Flow handle, or
 // nil if there is nothing to do. Use WaitFlow to join it.
 func (n *Net) Start(bytes float64, links ...*Link) *Flow {
+	return n.start(bytes, false, nil, links)
+}
+
+// StartFunc begins a transfer that runs done (as a zero-delay event)
+// when it completes, without occupying a process — the GoLite-compatible
+// form of Transfer. The callback fires at exactly the virtual time — and
+// event position — at which a blocked Transfer would have been resumed.
+// A transfer with no links or zero bytes completes immediately.
+func (n *Net) StartFunc(bytes float64, done func(), links ...*Link) {
+	if bytes <= 0 || len(links) == 0 {
+		n.env.At(n.env.Now(), done)
+		return
+	}
+	n.start(bytes, true, done, links)
+}
+
+func (n *Net) getFlow(pooled bool) *Flow {
+	if !pooled {
+		return &Flow{}
+	}
+	if k := len(n.freeFlows); k > 0 {
+		f := n.freeFlows[k-1]
+		n.freeFlows[k-1] = nil
+		n.freeFlows = n.freeFlows[:k-1]
+		return f
+	}
+	return &Flow{pooled: true}
+}
+
+func (n *Net) start(bytes float64, pooled bool, fn func(), links []*Link) *Flow {
 	if bytes <= 0 || len(links) == 0 {
 		return nil
 	}
 	n.advance()
-	f := &Flow{links: links, remaining: bytes}
+	f := n.getFlow(pooled)
+	f.links = links
+	f.remaining = bytes
+	f.fn = fn
 	n.flows = append(n.flows, f)
 	for _, l := range links {
 		l.TotalBytes += bytes
 	}
 	n.TotalBytes += bytes
-	n.recompute()
+	n.beginDirty()
+	n.markLinks(links)
+	n.recomputeDirty()
 	n.reschedule()
 	return f
 }
@@ -134,33 +190,91 @@ func (n *Net) advance() {
 	}
 }
 
-// recompute performs progressive filling over the active flows.
-func (n *Net) recompute() {
-	if len(n.flows) == 0 {
-		return
-	}
-	// Collect the distinct links touched by active flows, in first-use
-	// order, using a generation marker to avoid allocation of a set.
+// beginDirty opens a new dirty set; markLinks seeds it. Together with
+// recomputeDirty they make rate recomputation incremental: only the
+// connected component (flows transitively sharing links) around the
+// changed flows is refilled, and untouched bottleneck groups keep their
+// rates. Max-min rates are per-component, and the filling arithmetic
+// below is confined to a component, so the skipped components hold
+// exactly — bit for bit — the rates a full recompute would assign them.
+func (n *Net) beginDirty() {
 	n.gen++
-	var links []*Link
-	for _, f := range n.flows {
-		f.assigned = false
-		f.rate = 0
-		for _, l := range f.links {
-			if l.mark != n.gen {
-				l.mark = n.gen
-				l.residual = l.capacity
-				l.unassigned = 0
-				links = append(links, l)
-			}
+	n.scratchLinks = n.scratchLinks[:0]
+}
+
+func (n *Net) markLinks(links []*Link) {
+	for _, l := range links {
+		if l.mark != n.gen {
+			l.mark = n.gen
+			n.scratchLinks = append(n.scratchLinks, l)
 		}
 	}
+}
+
+// recomputeDirty expands the seeded dirty links to their full connected
+// component and refills it.
+func (n *Net) recomputeDirty() {
+	if len(n.flows) == 0 || len(n.scratchLinks) == 0 {
+		return
+	}
+	// Fixpoint: a flow touching any marked link joins the component and
+	// marks the rest of its links; repeat until no flow joins. The pass
+	// count is bounded by the component's link-sharing diameter, which
+	// is tiny in practice (uplink–downlink topologies converge in two).
+	for {
+		changed := false
+		for _, f := range n.flows {
+			if f.mark == n.gen {
+				continue
+			}
+			touched := false
+			for _, l := range f.links {
+				if l.mark == n.gen {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			f.mark = n.gen
+			changed = true
+			n.markLinks(f.links)
+		}
+		if !changed {
+			break
+		}
+	}
+	// Collect the affected flows in n.flows insertion order: progressive
+	// filling subtracts shares in flow-iteration order, so preserving the
+	// global order keeps the float arithmetic bitwise identical to a full
+	// recompute restricted to this component.
+	n.scratchFlows = n.scratchFlows[:0]
 	for _, f := range n.flows {
+		if f.mark == n.gen {
+			n.scratchFlows = append(n.scratchFlows, f)
+		}
+	}
+	n.fill(n.scratchFlows, n.scratchLinks)
+}
+
+// fill performs progressive filling over the given flows and links,
+// which must form a union of whole components.
+func (n *Net) fill(flows []*Flow, links []*Link) {
+	for _, f := range flows {
+		f.assigned = false
+		f.rate = 0
+	}
+	for _, l := range links {
+		l.residual = l.capacity
+		l.unassigned = 0
+	}
+	for _, f := range flows {
 		for _, l := range f.links {
 			l.unassigned++
 		}
 	}
-	unassigned := len(n.flows)
+	unassigned := len(flows)
 	for unassigned > 0 {
 		// Find the bottleneck: the link offering the smallest fair share.
 		// Ties resolve to the earliest-created link; max-min allocations
@@ -182,7 +296,7 @@ func (n *Net) recompute() {
 		}
 		// Freeze every unassigned flow crossing the bottleneck at the
 		// fair share and charge it along each of the flow's links.
-		for _, f := range n.flows {
+		for _, f := range flows {
 			if f.assigned {
 				continue
 			}
@@ -240,7 +354,7 @@ func (n *Net) reschedule() {
 	if target <= n.env.Now() {
 		target = math.Nextafter(n.env.Now(), math.Inf(1))
 	}
-	n.timer = n.env.At(target, n.complete)
+	n.timer = n.env.At(target, n.completeFn)
 }
 
 // complete settles progress, finishes any drained flows, and rearms.
@@ -249,7 +363,7 @@ func (n *Net) complete() {
 	n.advance()
 	const eps = 0.5 // bytes; sub-byte residue is float noise
 	kept := n.flows[:0]
-	var finished []*Flow
+	finished := n.finishedScr[:0]
 	for _, f := range n.flows {
 		if f.remaining <= eps {
 			finished = append(finished, f)
@@ -261,14 +375,35 @@ func (n *Net) complete() {
 		n.flows[i] = nil
 	}
 	n.flows = kept
+	if len(finished) > 0 {
+		n.beginDirty()
+	}
 	for _, f := range finished {
 		f.finished = true
 		f.remaining = 0
 		n.Completed++
-		f.done.Broadcast(n.env)
+		n.markLinks(f.links)
+		if f.fn != nil {
+			n.env.At(n.env.Now(), f.fn)
+			f.fn = nil
+		} else {
+			f.done.Broadcast(n.env)
+		}
+		if f.pooled {
+			f.links = nil
+			f.rate = 0
+			f.assigned = false
+			f.finished = false
+			f.mark = 0
+			n.freeFlows = append(n.freeFlows, f)
+		}
 	}
 	if len(finished) > 0 {
-		n.recompute()
+		n.recomputeDirty()
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	n.finishedScr = finished[:0]
 	n.reschedule()
 }

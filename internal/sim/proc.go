@@ -18,28 +18,88 @@ type Proc struct {
 	done     Cond
 }
 
-// Go starts fn as a new process at the current virtual time. The name is
-// used only for diagnostics.
+// worker is a reusable goroutine that runs processes one after another.
+// A 10k-instance flash crowd starts millions of short-lived activities
+// (chunk fetchers, write-backs, broadcast hops); spawning a fresh OS
+// goroutine plus resume channel for each made Env.Go the second-largest
+// allocation site of the large simulations. Workers park on their job
+// channel between processes and are recycled through Env.freeWorkers.
+type worker struct {
+	resume chan struct{}
+	jobs   chan workerJob
+}
+
+type workerJob struct {
+	p  *Proc
+	fn func(p *Proc)
+}
+
+func newWorker(e *Env) *worker {
+	w := &worker{resume: make(chan struct{}), jobs: make(chan workerJob, 1)}
+	go func() {
+		for j := range w.jobs {
+			w.run(e, j)
+		}
+	}()
+	return w
+}
+
+// run executes one process on the worker.
 //
 // The completion handshake runs in a defer so that a process exiting
 // abnormally — a panic unwinding, or runtime.Goexit as called by
 // t.Fatal inside simulation tests — still returns control to the
-// scheduler instead of wedging the whole simulation.
-func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{}), parked: true}
-	e.procs++
-	go func() {
-		defer func() {
-			p.finished = true
-			e.procs--
-			p.done.Broadcast(e)
-			e.parked <- struct{}{}
-		}()
-		<-p.resume
-		fn(p)
+// scheduler instead of wedging the whole simulation. An abnormal exit
+// kills the worker goroutine with it, so only cleanly-finished workers
+// return to the free pool (the append is ordered before the parked
+// handshake, which is what makes it visible to the scheduler without a
+// lock).
+func (w *worker) run(e *Env, j workerJob) {
+	normal := false
+	defer func() {
+		p := j.p
+		p.finished = true
+		e.procs--
+		p.done.Broadcast(e)
+		if normal {
+			e.freeWorkers = append(e.freeWorkers, w)
+		}
+		e.parked <- struct{}{}
 	}()
-	e.At(e.now, func() { e.handoff(p) })
+	<-w.resume
+	j.fn(j.p)
+	normal = true
+}
+
+// Go starts fn as a new process at the current virtual time. The name is
+// used only for diagnostics.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	var w *worker
+	if n := len(e.freeWorkers); n > 0 {
+		w = e.freeWorkers[n-1]
+		e.freeWorkers[n-1] = nil
+		e.freeWorkers = e.freeWorkers[:n-1]
+	} else {
+		w = newWorker(e)
+	}
+	p := &Proc{env: e, name: name, resume: w.resume, parked: true}
+	e.procs++
+	w.jobs <- workerJob{p: p, fn: fn}
+	e.resumeAt(e.now, p)
 	return p
+}
+
+// GoLite runs fn once at the current virtual time as a lightweight
+// activity: a single scheduled callback with no goroutine and no
+// channel handoffs. fn must not call blocking Proc APIs — it finishes
+// within its callback, or continues by scheduling further events or by
+// using the callback-completion resource APIs (PSPool.UseAsync,
+// flownet.Net.StartFunc). This is the state-machine path the
+// experiments' hot inner loops use so a 10k-instance herd does not
+// mean 10k parked goroutines per fire-and-forget activity.
+func (e *Env) GoLite(name string, fn func()) {
+	_ = name // diagnostic parity with Go; not retained
+	e.At(e.now, fn)
 }
 
 // handoff transfers control from the scheduler to p and blocks until p
@@ -95,7 +155,10 @@ func (p *Proc) Finished() bool { return p.finished }
 // duration panics; zero yields to other events scheduled at this time.
 func (p *Proc) Sleep(d float64) {
 	e := p.env
-	e.After(d, func() { e.handoff(p) })
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	e.resumeAt(e.now+d, p)
 	p.yield()
 }
 
@@ -129,24 +192,45 @@ func (c *Cond) Wait(p *Proc) {
 	p.yield()
 }
 
-// Signal releases the longest-waiting process, if any.
+// Signal releases the longest-waiting process, if any. The remaining
+// waiters shift down in place, so the backing array is retained and
+// never re-grown (re-slicing would strand the head slots forever).
 func (c *Cond) Signal(e *Env) {
 	if len(c.waiters) == 0 {
 		return
 	}
 	q := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	e.At(e.now, func() { e.handoff(q) })
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
+	e.resumeAt(e.now, q)
 }
 
-// Broadcast releases all waiting processes in FIFO order.
+// Broadcast releases all waiting processes in FIFO order. A single
+// waiter resumes through one plain event; multiple waiters ride one
+// batch event (instead of one scheduled event per waiter), which
+// dispatches them back-to-back in the same order the per-waiter events
+// would have run — their sequence numbers were consecutive, so no
+// other event could have interleaved. The Cond keeps its backing
+// array either way.
 func (c *Cond) Broadcast(e *Env) {
-	ws := c.waiters
-	c.waiters = nil
-	for _, q := range ws {
-		q := q
-		e.At(e.now, func() { e.handoff(q) })
+	switch len(c.waiters) {
+	case 0:
+		return
+	case 1:
+		q := c.waiters[0]
+		c.waiters[0] = nil
+		c.waiters = c.waiters[:0]
+		e.resumeAt(e.now, q)
+		return
 	}
+	ws := e.getBatch()
+	ws = append(ws, c.waiters...)
+	for i := range c.waiters {
+		c.waiters[i] = nil
+	}
+	c.waiters = c.waiters[:0]
+	e.resumeBatch(ws)
 }
 
 // Waiters returns the number of processes currently parked on c.

@@ -10,13 +10,35 @@ import (
 // slots, ...). Acquisition is FIFO: a large request at the head of the
 // queue blocks later small ones, which prevents starvation.
 //
+// The admission contract, precisely:
+//
+//   - Acquire with n <= 0 returns immediately without queuing and
+//     without checking the waiter queue. A zero-sized request holds no
+//     units, so admitting it ahead of the queue cannot starve anyone.
+//   - TryAcquire never bypasses queued waiters: while any process is
+//     queued, TryAcquire fails even if enough units are free — free
+//     units belong to the queue head. Callers spinning on TryAcquire
+//     therefore cannot starve the queue.
+//   - Release admits queued waiters strictly FIFO, stopping at the
+//     first waiter that does not fit.
+//
+// TestSemaphoreFIFONoBypass pins this contract under random
+// interleavings of all three operations.
+//
 // Release may be called from any simulation context (process or event
 // callback); Acquire must be called from a process.
+//
+// Waiters queue in a ring buffer (head + count over a power-of-two-ish
+// backing array) rather than a re-sliced slice: re-slicing `waiters[1:]`
+// on every admission permanently strands the popped head slots, so the
+// backing array is re-grown forever under sustained churn.
 type Semaphore struct {
 	env      *Env
 	capacity int64
 	used     int64
-	waiters  []semWait
+	waiters  []semWait // ring: count entries starting at head
+	head     int
+	count    int
 }
 
 type semWait struct {
@@ -38,8 +60,33 @@ func (s *Semaphore) Capacity() int64 { return s.capacity }
 // InUse returns the number of units currently held.
 func (s *Semaphore) InUse() int64 { return s.used }
 
+// Waiting returns the number of queued processes.
+func (s *Semaphore) Waiting() int { return s.count }
+
+func (s *Semaphore) pushWaiter(w semWait) {
+	if s.count == len(s.waiters) {
+		grown := make([]semWait, 2*s.count+8)
+		for i := 0; i < s.count; i++ {
+			grown[i] = s.waiters[(s.head+i)%len(s.waiters)]
+		}
+		s.waiters = grown
+		s.head = 0
+	}
+	s.waiters[(s.head+s.count)%len(s.waiters)] = w
+	s.count++
+}
+
+func (s *Semaphore) popWaiter() semWait {
+	w := s.waiters[s.head]
+	s.waiters[s.head] = semWait{}
+	s.head = (s.head + 1) % len(s.waiters)
+	s.count--
+	return w
+}
+
 // Acquire blocks p until n units are available and takes them. Requests
 // larger than the capacity panic, since they could never be satisfied.
+// n <= 0 returns immediately without queuing (see the type comment).
 func (s *Semaphore) Acquire(p *Proc, n int64) {
 	if n > s.capacity {
 		panic("sim: semaphore request exceeds capacity")
@@ -47,20 +94,22 @@ func (s *Semaphore) Acquire(p *Proc, n int64) {
 	if n <= 0 {
 		return
 	}
-	if len(s.waiters) == 0 && s.used+n <= s.capacity {
+	if s.count == 0 && s.used+n <= s.capacity {
 		s.used += n
 		return
 	}
-	s.waiters = append(s.waiters, semWait{p, n})
+	s.pushWaiter(semWait{p, n})
 	p.yield()
 }
 
 // TryAcquire takes n units if immediately available, reporting success.
+// It fails whenever processes are queued, even if n units are free:
+// those units belong to the queue head (see the type comment).
 func (s *Semaphore) TryAcquire(n int64) bool {
 	if n <= 0 {
 		return true
 	}
-	if len(s.waiters) == 0 && s.used+n <= s.capacity {
+	if s.count == 0 && s.used+n <= s.capacity {
 		s.used += n
 		return true
 	}
@@ -76,15 +125,14 @@ func (s *Semaphore) Release(n int64) {
 	if s.used < 0 {
 		panic("sim: semaphore released more than acquired")
 	}
-	for len(s.waiters) > 0 {
-		w := s.waiters[0]
+	for s.count > 0 {
+		w := s.waiters[s.head]
 		if s.used+w.n > s.capacity {
 			break
 		}
 		s.used += w.n
-		s.waiters = s.waiters[1:]
-		q := w.p
-		s.env.At(s.env.now, func() { s.env.handoff(q) })
+		s.popWaiter()
+		s.env.resumeAt(s.env.now, w.p)
 	}
 }
 
@@ -103,6 +151,13 @@ type PSPool struct {
 	last     float64 // virtual time of last remaining-work update
 	timer    *Event
 
+	// completeFn is the timer callback, bound once: taking the method
+	// value pool.complete inside reschedule allocates a closure on every
+	// rearm, and the pool rearms on every job arrival and departure.
+	completeFn func()
+	// freeJobs recycles finished job records.
+	freeJobs []*psJob
+
 	// BusyTime accumulates the total virtual time during which at least
 	// one job was active; useful for utilization metrics.
 	BusyTime float64
@@ -113,6 +168,9 @@ type PSPool struct {
 type psJob struct {
 	remaining float64
 	done      Cond
+	// fn, when set, is the completion callback of a UseAsync job; such
+	// jobs have no waiting process and signal through an event instead.
+	fn func()
 }
 
 // NewPSPool returns a processor-sharing pool with the given capacity in
@@ -121,7 +179,9 @@ func NewPSPool(env *Env, name string, capacity float64) *PSPool {
 	if capacity <= 0 {
 		panic("sim: PSPool capacity must be positive")
 	}
-	return &PSPool{env: env, name: name, capacity: capacity}
+	pool := &PSPool{env: env, name: name, capacity: capacity}
+	pool.completeFn = pool.complete
+	return pool
 }
 
 // Capacity returns the pool's total service rate.
@@ -130,6 +190,16 @@ func (pool *PSPool) Capacity() float64 { return pool.capacity }
 // Active returns the number of in-progress jobs.
 func (pool *PSPool) Active() int { return len(pool.jobs) }
 
+func (pool *PSPool) getJob() *psJob {
+	if n := len(pool.freeJobs); n > 0 {
+		j := pool.freeJobs[n-1]
+		pool.freeJobs[n-1] = nil
+		pool.freeJobs = pool.freeJobs[:n-1]
+		return j
+	}
+	return &psJob{}
+}
+
 // Use blocks p while `amount` units of work are serviced by the pool,
 // sharing capacity equally with all concurrent jobs.
 func (pool *PSPool) Use(p *Proc, amount float64) {
@@ -137,10 +207,29 @@ func (pool *PSPool) Use(p *Proc, amount float64) {
 		return
 	}
 	pool.advance()
-	job := &psJob{remaining: amount}
+	job := pool.getJob()
+	job.remaining = amount
 	pool.jobs = append(pool.jobs, job)
 	pool.reschedule()
 	job.done.Wait(p)
+}
+
+// UseAsync services `amount` units of work and runs done (as a
+// zero-delay event) when they complete, without occupying a process.
+// This is the GoLite-compatible form of Use: the callback fires at
+// exactly the virtual time — and event position — at which a blocked
+// Use call would have been resumed.
+func (pool *PSPool) UseAsync(amount float64, done func()) {
+	if amount <= 0 {
+		pool.env.At(pool.env.now, done)
+		return
+	}
+	pool.advance()
+	job := pool.getJob()
+	job.remaining = amount
+	job.fn = done
+	pool.jobs = append(pool.jobs, job)
+	pool.reschedule()
 }
 
 // advance applies elapsed virtual time to every active job's remaining
@@ -190,7 +279,7 @@ func (pool *PSPool) reschedule() {
 	if target <= pool.env.now {
 		target = math.Nextafter(pool.env.now, math.Inf(1))
 	}
-	pool.timer = pool.env.At(target, pool.complete)
+	pool.timer = pool.env.At(target, pool.completeFn)
 }
 
 // complete fires when the earliest job should finish: it settles
@@ -213,7 +302,14 @@ func (pool *PSPool) complete() {
 	for _, j := range pool.jobs {
 		if j.remaining <= eps {
 			finished++
-			j.done.Broadcast(pool.env)
+			if j.fn != nil {
+				pool.env.At(pool.env.now, j.fn)
+				j.fn = nil
+			} else {
+				j.done.Broadcast(pool.env)
+			}
+			j.remaining = 0
+			pool.freeJobs = append(pool.freeJobs, j)
 		} else {
 			kept = append(kept, j)
 		}
